@@ -1,0 +1,37 @@
+"""Shared state for the figure-reproduction benchmarks.
+
+Figures 6-9 read off one microbenchmark sweep; it is executed once per
+session (inside the Figure 6 benchmark, which times it) and shared with
+the other figures through :func:`micro_sweep`.
+
+Sizes here are the reproduction defaults: every workload at its
+paper-regime footprint, 1/2/4/8 threads (the paper's series), a few hundred transactions per
+thread.  They are deliberately larger than the unit-test configurations —
+expect the full benchmark run to take a few minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sweep import SweepResult, run_micro_sweep
+
+SWEEP_THREADS = (1, 2, 4, 8)
+SWEEP_TXNS = 250
+
+_cache: dict = {}
+
+
+def get_micro_sweep() -> SweepResult:
+    """Run (once) and return the shared Figure 6-9 sweep."""
+    if "sweep" not in _cache:
+        _cache["sweep"] = run_micro_sweep(
+            threads=SWEEP_THREADS, txns_per_thread=SWEEP_TXNS
+        )
+    return _cache["sweep"]
+
+
+@pytest.fixture(scope="session")
+def micro_sweep() -> SweepResult:
+    """Session-shared microbenchmark sweep."""
+    return get_micro_sweep()

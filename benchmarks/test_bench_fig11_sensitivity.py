@@ -1,0 +1,45 @@
+"""Figure 11: sensitivity studies.
+
+(a) hash throughput across log-buffer sizes {0..256}; 128/256 run with
+    infinite NVRAM write bandwidth, as the paper footnotes.  Paper shape:
+    ~+10% at 8 entries, ~+18% at the 15-entry persistence bound, further
+    gains only beyond the bandwidth limit.
+(b) required FWB scan frequency versus log size: inverse-linear, with the
+    paper's running example (64K-entry / 4 MB log -> ~3M-cycle period).
+"""
+
+import pytest
+
+from repro.harness.experiments import figure11a_log_buffer, figure11b_fwb_frequency
+
+
+def test_bench_fig11a_log_buffer(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure11a_log_buffer(txns_per_thread=300), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    data = result.data
+    # Buffering beats no buffer within the persistence bound.
+    assert data[8] > 1.02
+    assert data[15] >= data[8] * 0.97
+    # Infinite-bandwidth points dominate everything bandwidth-limited.
+    assert data[128] > data[64]
+    assert data[256] == pytest.approx(data[128], rel=0.05)
+    for size, ratio in data.items():
+        benchmark.extra_info[f"speedup_{size}_entries"] = round(ratio, 3)
+
+
+def test_bench_fig11b_fwb_frequency(benchmark):
+    result = benchmark.pedantic(figure11b_fwb_frequency, rounds=1, iterations=1)
+    print()
+    print(result.rendered)
+    data = result.data
+    sizes = sorted(data)
+    # Inverse-linear: doubling the log halves the required frequency.
+    for small, large in zip(sizes, sizes[1:]):
+        assert data[small] == pytest.approx(data[large] * (large / small), rel=0.01)
+    # The paper's running example: 64K entries -> ~3M-cycle scan period.
+    period = 1.0 / data[65536]
+    assert 2e6 < period < 4e6
+    benchmark.extra_info["scan_period_64k_log"] = round(period)

@@ -1,0 +1,49 @@
+"""Tables I-III: hardware overhead, machine configuration, workloads.
+
+Table I is a *computed* reproduction: the register/SRAM sizes fall out of
+the Table II configuration (e.g. the 15-entry x 64 B log buffer = 960 B,
+against the paper's 964 B which includes its pointer overhead).
+"""
+
+from repro import SystemConfig
+from repro.harness.experiments import (
+    table1_hardware_overhead,
+    table2_configuration,
+    table3_microbenchmarks,
+)
+
+
+def test_bench_table1_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_hardware_overhead(SystemConfig()), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    assert result.data["Transaction ID register"] == 1
+    assert result.data["Log head pointer register"] == 8
+    assert result.data["Log tail pointer register"] == 8
+    assert abs(result.data["Log buffer (optional)"] - 964) <= 8
+    for name, size in result.data.items():
+        benchmark.extra_info[name] = size
+
+
+def test_bench_table2_configuration(benchmark):
+    result = benchmark.pedantic(table2_configuration, rounds=1, iterations=1)
+    print()
+    print(result.rendered)
+    text = result.rendered
+    for fragment in ("2.5 GHz", "32 KB", "8 MB", "64-/64-entry", "8 banks"):
+        assert fragment in text
+
+
+def test_bench_table3_microbenchmarks(benchmark):
+    result = benchmark.pedantic(table3_microbenchmarks, rounds=1, iterations=1)
+    print()
+    print(result.rendered)
+    assert [row[0] for row in result.rows] == [
+        "hash",
+        "rbtree",
+        "sps",
+        "btree",
+        "ssca2",
+    ]

@@ -1,0 +1,46 @@
+"""repro — reproduction of *Steal but No Force: Efficient Hardware
+Undo+Redo Logging for Persistent Memory Systems* (HPCA 2018).
+
+Public API quickstart::
+
+    from repro import Machine, Policy, PersistentMemory, SystemConfig
+
+    machine = Machine(SystemConfig(), Policy.FWB)
+    pm = PersistentMemory(machine)
+    api = pm.api(core_id=0)
+    addr = pm.heap.alloc(8)
+    with api.transaction():
+        api.write(addr, (42).to_bytes(8, "little"))
+    stats = machine.finalize()
+
+Subpackages:
+
+* :mod:`repro.sim` — the timing/functional simulator substrate;
+* :mod:`repro.core` — the paper's contribution (HWL, FWB, logs, recovery);
+* :mod:`repro.txn` — the transaction runtime and persistent heap;
+* :mod:`repro.workloads` — the evaluated microbenchmarks and WHISPER-like
+  kernels;
+* :mod:`repro.harness` — experiment definitions reproducing every table
+  and figure.
+"""
+
+from .core.policy import Policy
+from .core.recovery import RecoveryManager, RecoveryReport
+from .sim.config import SystemConfig
+from .sim.machine import Machine
+from .sim.stats import MachineStats
+from .txn.runtime import PersistentMemory, ThreadAPI
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Policy",
+    "SystemConfig",
+    "Machine",
+    "MachineStats",
+    "PersistentMemory",
+    "ThreadAPI",
+    "RecoveryManager",
+    "RecoveryReport",
+    "__version__",
+]

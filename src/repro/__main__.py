@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``tables``
+    Print Tables I-III (hardware overhead, machine configuration,
+    microbenchmark list).
+``figure {6,7,8,9,10,11a,11b}``
+    Regenerate one of the paper's figures (``--quick`` shrinks the sweep
+    for a fast smoke run).
+``compare``
+    Run one microbenchmark under all eight designs and print the
+    comparison (like ``examples/policy_comparison.py``).
+``lifetime``
+    Print the Section III-F NVRAM lifetime arithmetic for the configured
+    log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import SystemConfig
+from .core.lifetime import log_pass_period_seconds, log_region_lifetime_days
+from .core.policy import Policy
+from .harness import experiments
+from .harness.runner import RunConfig, prepare_workload, run_workload
+from .harness.sweep import run_micro_sweep
+from .workloads import MICROBENCHMARKS, make_microbenchmark
+
+
+def _cmd_tables(_args) -> int:
+    for result in (
+        experiments.table1_hardware_overhead(),
+        experiments.table2_configuration(),
+        experiments.table3_microbenchmarks(),
+    ):
+        print(result.rendered)
+        print()
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    quick = args.quick
+    txns = 60 if quick else 250
+    threads = (1,) if quick else (1, 8)
+    benchmarks = ("hash", "sps") if quick else tuple(MICROBENCHMARKS)
+    if args.id in ("6", "7", "8", "9"):
+        sweep = run_micro_sweep(
+            benchmarks=benchmarks, threads=threads, txns_per_thread=txns
+        )
+        fn = {
+            "6": experiments.figure6_throughput,
+            "7": experiments.figure7_ipc_instructions,
+            "8": experiments.figure8_energy,
+            "9": experiments.figure9_write_traffic,
+        }[args.id]
+        result = fn(sweep)
+        if args.chart:
+            from .harness.plots import figure_chart
+
+            print(figure_chart(result))
+        else:
+            print(result.rendered)
+        if args.id == "6":
+            for t in threads:
+                gain = experiments.summarize_fwb_gain(sweep, t)
+                print(f"fwb gain over best software-clwb @{t}t: {gain:.2f}x")
+    elif args.id == "10":
+        kernels = ("ycsb", "tpcc") if quick else tuple(
+            sorted(__import__("repro.workloads.whisper", fromlist=["WHISPER_KERNELS"]).WHISPER_KERNELS)
+        )
+        print(
+            experiments.figure10_whisper(
+                kernels=kernels, txns_per_thread=40 if quick else 150
+            ).rendered
+        )
+    elif args.id == "11a":
+        sizes = (0, 8, 15) if quick else (0, 8, 15, 16, 32, 64, 128, 256)
+        print(
+            experiments.figure11a_log_buffer(
+                sizes=sizes, txns_per_thread=60 if quick else 300
+            ).rendered
+        )
+    elif args.id == "11b":
+        print(experiments.figure11b_fwb_frequency().rendered)
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = make_microbenchmark(args.benchmark)
+    prepared = prepare_workload(workload)
+    print(f"{'design':12s} {'throughput':>11s} {'IPC':>7s} {'instrs':>9s} "
+          f"{'NVRAM wr KB':>11s}")
+    for policy in Policy:
+        stats = run_workload(
+            workload,
+            RunConfig(
+                policy=policy, threads=args.threads, txns_per_thread=args.txns
+            ),
+            prepared=prepared,
+        ).stats
+        print(
+            f"{policy.value:12s} {stats.throughput:11.1f} {stats.ipc:7.3f} "
+            f"{stats.instructions:9d} {stats.nvram_write_bytes / 1024:11.1f}"
+        )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .harness.sweep import run_micro_sweep
+    from .harness.validate import validate
+
+    if args.quick:
+        sweep = run_micro_sweep(
+            benchmarks=("hash", "sps"), threads=(1,), txns_per_thread=80
+        )
+    else:
+        sweep = None
+    report = validate(sweep=sweep)
+    print(report.rendered)
+    return 0 if report.passed else 1
+
+
+def _cmd_lifetime(_args) -> int:
+    config = SystemConfig()
+    period = log_pass_period_seconds(config)
+    days = log_region_lifetime_days(config)
+    print(f"log entries            : {config.logging.log_entries}")
+    print(f"log size               : {config.logging.log_bytes / 2**20:.1f} MB")
+    print(f"per-cell overwrite gap : {period * 1e3:.2f} ms "
+          "(one full pass at back-to-back 200 ns writes)")
+    print(f"time to 1e8 overwrites : {days:.1f} days "
+          "(paper: ~15 days — ample for wear-leveling to trigger)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Steal-but-No-Force (HPCA 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("tables").set_defaults(fn=_cmd_tables)
+    figure = sub.add_parser("figure")
+    figure.add_argument("id", choices=["6", "7", "8", "9", "10", "11a", "11b"])
+    figure.add_argument("--quick", action="store_true")
+    figure.add_argument(
+        "--chart", action="store_true", help="render as terminal bar charts"
+    )
+    figure.set_defaults(fn=_cmd_figure)
+    compare = sub.add_parser("compare")
+    compare.add_argument("--benchmark", default="hash", choices=sorted(MICROBENCHMARKS))
+    compare.add_argument("--threads", type=int, default=1)
+    compare.add_argument("--txns", type=int, default=200)
+    compare.set_defaults(fn=_cmd_compare)
+    sub.add_parser("lifetime").set_defaults(fn=_cmd_lifetime)
+    validate_cmd = sub.add_parser("validate")
+    validate_cmd.add_argument("--quick", action="store_true")
+    validate_cmd.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Cache Force Write-Back (FWB) mechanism (Sections III-C, IV-D).
+
+Each cache line carries an ``fwb`` bit alongside its dirty bit, driving a
+three-state machine maintained by the cache controller:
+
+* ``{fwb, dirty} = {0, 0}`` — IDLE: nothing to do;
+* ``{fwb, dirty} = {0, 1}`` — FLAG: first scan sets ``fwb`` = 1;
+* ``{fwb, dirty} = {1, 1}`` — FWB: second scan forces the write-back and
+  resets the line to IDLE.
+
+A line whose dirty bit clears for any other reason (normal eviction,
+clwb) drops back to IDLE.  L1 force write-backs push the line into the
+LLC; LLC force write-backs post it to NVRAM.
+
+Scan frequency: write-backs must outrun log wrap-around.  The tail can
+advance no faster than the NVRAM write bandwidth allows log entries to be
+written, so the wrap period is bounded below by
+``log_entries / peak_entry_rate`` and the scan interval is that period
+divided by a safety factor (two scans are needed to move a line through
+FLAG to FWB).  We bound the peak entry rate by the row-conflict write
+latency — every log write charged as a conflict — which lands the
+Table II machine with a 64K-entry (4 MB) log at a ~3M-cycle period,
+matching Figure 11(b).
+
+Scan cost: scanning deposits ``lines * fwb_scan_cost_per_line`` cycles of
+debt into the hierarchy; accesses pay it back one cycle at a time
+(~3.6% overhead for an 8 MB LLC, Section VI).
+"""
+
+from __future__ import annotations
+
+from ..sim.config import SystemConfig
+from ..sim.hierarchy import CacheHierarchy
+from ..sim.stats import MachineStats
+from ..utils import ns_to_cycles
+
+
+def required_scan_interval(config: SystemConfig) -> float:
+    """Scan period (cycles) guaranteeing write-backs beat log wrap-around."""
+    logging = config.logging
+    if logging.fwb_scan_interval_override is not None:
+        return float(logging.fwb_scan_interval_override)
+    write_service = ns_to_cycles(
+        config.nvram.write_conflict_ns, config.core.clock_ghz
+    )
+    line = config.line_size
+    peak_bytes_per_cycle = config.nvram.num_banks * line / write_service
+    peak_entries_per_cycle = peak_bytes_per_cycle / logging.log_entry_size
+    wrap_period = logging.log_entries / peak_entries_per_cycle
+    return wrap_period / logging.fwb_safety_factor
+
+
+def required_scan_frequency(config: SystemConfig) -> float:
+    """Scans per cycle (the y-axis of Figure 11(b))."""
+    return 1.0 / required_scan_interval(config)
+
+
+class ForceWriteBack:
+    """Periodic scanner implementing the FWB state machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        hierarchy: CacheHierarchy,
+        stats: MachineStats,
+    ) -> None:
+        self._config = config
+        self._hierarchy = hierarchy
+        self._stats = stats
+        self.interval = required_scan_interval(config)
+        self.next_scan = self.interval
+        self._cost_per_line = config.logging.fwb_scan_cost_per_line
+
+    def maybe_scan(self, now: float) -> None:
+        """Run scans that have come due by ``now``."""
+        while now >= self.next_scan:
+            self.scan(self.next_scan)
+            self.next_scan += self.interval
+
+    def scan(self, now: float) -> None:
+        """One pass over every cache's tags (the FSM of Figure 5)."""
+        self._stats.fwb_scans += 1
+        scanned = 0
+        for core_id, l1 in enumerate(self._hierarchy.l1s):
+            for line in list(l1.iter_lines()):
+                scanned += 1
+                self._step_line(line, at_llc=False, core_id=core_id, now=now)
+        for line in list(self._hierarchy.llc.iter_lines()):
+            scanned += 1
+            self._step_line(line, at_llc=True, core_id=-1, now=now)
+        self._stats.fwb_lines_scanned += scanned
+        self._hierarchy.add_scan_debt(scanned * self._cost_per_line)
+
+    def _step_line(self, line, at_llc: bool, core_id: int, now: float) -> None:
+        if not line.dirty:
+            if line.fwb:
+                line.fwb = False  # dirty cleared elsewhere: back to IDLE
+            return
+        if not line.fwb:
+            line.fwb = True  # FLAG
+            return
+        # FWB state: force the write-back.
+        if at_llc:
+            self._hierarchy.fwb_writeback_llc(line, now)
+        else:
+            self._hierarchy.fwb_writeback_l1(core_id, line, now)
+        self._stats.fwb_writebacks += 1

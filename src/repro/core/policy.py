@@ -1,0 +1,106 @@
+"""The eight evaluated persistence designs (Section VI).
+
+========== =====================================================
+name       meaning
+========== =====================================================
+non-pers   NVRAM as plain working memory; no persistence at all
+           (the paper's ideal-but-unachievable upper bound)
+unsafe-base software logging without forced write-backs; *no*
+           persistence guarantee
+redo-clwb  software redo logging + clwb after transactions
+undo-clwb  software undo logging + clwb before commit
+hw-rlog    hardware redo-only logging, no persistence guarantee
+hw-ulog    hardware undo-only logging, no persistence guarantee
+hwl        this paper's hardware undo+redo logging, still using
+           clwb to force write-backs
+fwb        the full design: HWL plus the hardware cache
+           force-write-back mechanism
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Policy(enum.Enum):
+    """Persistence design evaluated by the paper."""
+
+    NON_PERS = "non-pers"
+    UNSAFE_BASE = "unsafe-base"
+    REDO_CLWB = "redo-clwb"
+    UNDO_CLWB = "undo-clwb"
+    HW_RLOG = "hw-rlog"
+    HW_ULOG = "hw-ulog"
+    HWL = "hwl"
+    FWB = "fwb"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Policy":
+        """Look a policy up by its paper name (e.g. ``"fwb"``)."""
+        for policy in cls:
+            if policy.value == name:
+                return policy
+        raise ValueError(f"unknown policy {name!r}")
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def uses_hw_logging(self) -> bool:
+        """True when the HWL engine generates log records in hardware."""
+        return self in (Policy.HW_RLOG, Policy.HW_ULOG, Policy.HWL, Policy.FWB)
+
+    @property
+    def uses_sw_logging(self) -> bool:
+        """True when logging executes as instructions in the pipeline."""
+        return self in (Policy.UNSAFE_BASE, Policy.REDO_CLWB, Policy.UNDO_CLWB)
+
+    @property
+    def logs_undo(self) -> bool:
+        """True when old values are logged."""
+        return self in (
+            Policy.UNSAFE_BASE,
+            Policy.UNDO_CLWB,
+            Policy.HW_ULOG,
+            Policy.HWL,
+            Policy.FWB,
+        )
+
+    @property
+    def logs_redo(self) -> bool:
+        """True when new values are logged."""
+        return self in (Policy.REDO_CLWB, Policy.HW_RLOG, Policy.HWL, Policy.FWB)
+
+    @property
+    def uses_clwb_at_commit(self) -> bool:
+        """True when transactions issue clwb over their write set."""
+        return self in (Policy.REDO_CLWB, Policy.UNDO_CLWB, Policy.HWL)
+
+    @property
+    def uses_fwb(self) -> bool:
+        """True when the hardware FWB scanner is active."""
+        return self is Policy.FWB
+
+    @property
+    def defers_in_place_stores(self) -> bool:
+        """Software redo logging: in-place stores wait for log completion
+        (the Figure 1(b) memory barrier)."""
+        return self is Policy.REDO_CLWB
+
+    @property
+    def persistence_guaranteed(self) -> bool:
+        """True when a crash at any instant is recoverable."""
+        return self in (Policy.REDO_CLWB, Policy.UNDO_CLWB, Policy.HWL, Policy.FWB)
+
+    @property
+    def protects_log_wrap(self) -> bool:
+        """True when overwriting a log entry forces its data line durable."""
+        return self.persistence_guaranteed
+
+
+MICROBENCH_POLICIES = tuple(Policy)
+"""All eight designs, in the order the paper's figures present them."""

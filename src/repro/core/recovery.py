@@ -1,0 +1,195 @@
+"""Post-crash recovery (Section IV-F).
+
+Steps, mirroring the paper:
+
+1. Locate the valid log window.  The circular log's torn bit is constant
+   within a pass and flips at each wrap, so the window boundary (the tail)
+   is the first slot whose torn bit differs from slot 0's — no persistent
+   head/tail pointers are needed.  Because the ring overwrites oldest
+   entries first, the surviving window is always a *suffix* of log
+   history, which is what makes replay sound.
+2. Group records into transaction instances (physical transaction IDs are
+   reused, so a BEGIN opens a new instance and a COMMIT closes it).  An
+   instance is committed iff its COMMIT record lies in the window.
+3. Forward pass: re-apply the redo values of committed instances in log
+   order ("steal but no force": committed data may never have left the
+   caches).  Reverse pass: apply the undo values of uncommitted instances
+   ("steal": uncommitted data may already be in NVRAM).
+4. Recovery writes bypass the caches and go directly to NVRAM; the log is
+   then reset.
+
+Entries are written atomically by the simulated memory controller, so a
+partially-written ("torn") entry cannot occur here; the torn bit's role
+is window detection, as in the paper's recovery discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RecoveryError
+from ..sim.nvram import NVRAM
+from .logrecord import LogRecord, RecordKind
+from .nvlog import CircularLog
+
+
+@dataclass
+class _Instance:
+    """One transaction instance reconstructed from the log window."""
+
+    txid: int
+    records: list[LogRecord] = field(default_factory=list)
+    committed: bool = False
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of one recovery pass."""
+
+    records_scanned: int = 0
+    window_entries: int = 0
+    committed_instances: int = 0
+    uncommitted_instances: int = 0
+    redo_writes: int = 0
+    undo_writes: int = 0
+
+    @property
+    def total_writes(self) -> int:
+        """NVRAM writes generated during replay."""
+        return self.redo_writes + self.undo_writes
+
+
+class RecoveryManager:
+    """Replays the circular log against a surviving NVRAM image."""
+
+    def __init__(self, nvram: NVRAM, log: CircularLog) -> None:
+        self._nvram = nvram
+        self._log = log
+
+    @classmethod
+    def from_directory(cls, nvram: NVRAM, directory_addr: int) -> "RecoveryManager":
+        """Rebuild a manager from the persistent region directory written
+        by a :class:`~repro.core.growlog.GrowableCircularLog` — the path a
+        cold-restart recovery tool takes when only the NVRAM image
+        survives."""
+        from .growlog import RegionDirectory
+
+        directory = RegionDirectory(nvram, directory_addr).read()
+        if directory is None:
+            raise RecoveryError("no log region directory in NVRAM")
+        entry_size, regions = directory
+        logs = [CircularLog(base, entries, entry_size) for base, entries in regions]
+        manager = cls(nvram, logs[-1])
+        manager._log_views = logs
+        return manager
+
+    # ------------------------------------------------------------------
+    # Window scan
+    # ------------------------------------------------------------------
+    def _views(self) -> list:
+        views = getattr(self, "_log_views", None)
+        if views is not None:
+            return views
+        return self._log.region_views()
+
+    def scan_window(self) -> list[LogRecord]:
+        """Decode the valid window, oldest record first.
+
+        With a grown log, frozen regions are scanned before the active
+        one (creation order = history order).
+        """
+        window: list[LogRecord] = []
+        for view in self._views():
+            window.extend(self._scan_region(view))
+        return window
+
+    def _scan_region(self, log) -> list[LogRecord]:
+        entries: list = []
+        for slot in range(log.num_entries):
+            raw = self._nvram.peek(log.entry_addr(slot), log.entry_size)
+            entries.append(LogRecord.decode(raw))
+        first = entries[0]
+        if first is None:
+            return []
+        parity = first.torn
+        boundary = log.num_entries
+        for slot in range(1, log.num_entries):
+            record = entries[slot]
+            if record is None or record.torn != parity:
+                boundary = slot
+                break
+        current_pass = [record for record in entries[:boundary] if record is not None]
+        previous_pass = [
+            record
+            for record in entries[boundary:]
+            if record is not None and record.torn != parity
+        ]
+        return previous_pass + current_pass
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def recover(self, reset_log: bool = True) -> RecoveryReport:
+        """Replay the log; optionally clear it afterwards."""
+        window = self.scan_window()
+        report = RecoveryReport(
+            records_scanned=self._log.num_entries, window_entries=len(window)
+        )
+        open_instances: dict[int, _Instance] = {}
+        ordered: list[_Instance] = []
+
+        for record in window:
+            if record.kind == RecordKind.BEGIN:
+                instance = _Instance(record.txid)
+                open_instances[record.txid] = instance
+                ordered.append(instance)
+            elif record.kind == RecordKind.DATA:
+                instance = open_instances.get(record.txid)
+                if instance is None:
+                    # Head of this transaction was overwritten; any record
+                    # still here belongs to the newest suffix of history.
+                    instance = _Instance(record.txid)
+                    open_instances[record.txid] = instance
+                    ordered.append(instance)
+                instance.records.append(record)
+            elif record.kind == RecordKind.COMMIT:
+                instance = open_instances.pop(record.txid, None)
+                if instance is None:
+                    instance = _Instance(record.txid)
+                    ordered.append(instance)
+                instance.committed = True
+
+        # Forward pass: redo committed instances in log order.
+        for instance in ordered:
+            if not instance.committed:
+                continue
+            report.committed_instances += 1
+            for record in instance.records:
+                if record.has_redo:
+                    self._nvram.poke(record.addr, record.redo)
+                    report.redo_writes += 1
+
+        # Reverse pass: undo uncommitted instances, newest record first.
+        for instance in reversed(ordered):
+            if instance.committed:
+                continue
+            report.uncommitted_instances += 1
+            for record in reversed(instance.records):
+                if record.has_undo:
+                    self._nvram.poke(record.addr, record.undo)
+                    report.undo_writes += 1
+
+        if reset_log:
+            self._reset_log()
+        return report
+
+    def _reset_log(self) -> None:
+        """Invalidate every entry and reset the ring(s) to a fresh state."""
+        for view in self._views():
+            zero = bytes(view.entry_size)
+            for slot in range(view.num_entries):
+                self._nvram.poke(view.entry_addr(slot), zero)
+        self._log.tail = 0
+        self._log.head = 0
+        self._log.parity = 1
+        self._log.wrapped = False

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address is out of range or misaligned for the requested access."""
+
+
+class LogError(ReproError):
+    """The circular log was used incorrectly (overflow, bad record, ...)."""
+
+
+class TransactionError(ReproError):
+    """Transaction API misuse (nested begin, commit without begin, ...)."""
+
+
+class RecoveryError(ReproError):
+    """The recovery manager found an unrecoverable log state."""
+
+
+class SimulationError(ReproError):
+    """Internal simulator invariant violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured or driven incorrectly."""

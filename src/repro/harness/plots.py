@@ -1,0 +1,103 @@
+"""Terminal (ASCII) charts for the reproduced figures.
+
+The paper's figures are grouped bar charts; these helpers render the
+same series as unicode bar rows so `python -m repro figure N` output can
+be *seen*, not just read.  Pure text — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+FULL = "█"
+PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """One horizontal bar: ``value`` rendered against ``scale`` (= width)."""
+    if scale <= 0 or value <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    fraction = int((cells - whole) * 8)
+    if whole >= width:
+        return FULL * width
+    return FULL * whole + PARTIAL[fraction]
+
+
+def grouped_bars(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    baseline: Optional[str] = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """A grouped bar chart: one block per group, one bar per series.
+
+    ``groups`` maps group label → {series label → value}.  A ``baseline``
+    series, when given, is marked so the normalization anchor is visible.
+    """
+    finite = [
+        value
+        for series in groups.values()
+        for value in series.values()
+        if value != float("inf")
+    ]
+    scale = max(finite, default=1.0)
+    series_width = max(
+        (len(name) for series in groups.values() for name in series), default=0
+    )
+    lines = [title, "=" * len(title)]
+    for group, series in groups.items():
+        lines.append(group)
+        for name, value in series.items():
+            marker = " *" if name == baseline else ""
+            if value == float("inf"):
+                rendered, shown = FULL * width, "inf"
+            else:
+                rendered = bar(value, scale, width)
+                shown = value_format.format(value)
+            lines.append(
+                f"  {name.ljust(series_width)} |{rendered.ljust(width)}| "
+                f"{shown}{marker}"
+            )
+        lines.append("")
+    if baseline is not None:
+        lines.append(f"(* = {baseline}, the normalization baseline)")
+    return "\n".join(lines)
+
+
+def series_chart(
+    title: str,
+    points: Sequence[tuple],
+    width: int = 40,
+    x_label: str = "x",
+    y_format: str = "{:.2f}",
+) -> str:
+    """A one-series chart: (x, y) points as labelled bars."""
+    values = [y for _x, y in points]
+    scale = max(values, default=1.0)
+    label_width = max((len(str(x)) for x, _y in points), default=1)
+    lines = [title, "=" * len(title)]
+    for x, y in points:
+        lines.append(
+            f"  {str(x).rjust(label_width)} |{bar(y, scale, width).ljust(width)}| "
+            f"{y_format.format(y)}"
+        )
+    lines.append(f"  ({x_label} on the left)")
+    return "\n".join(lines)
+
+
+def figure_chart(result, baseline: str = "unsafe-base") -> str:
+    """Chart an :class:`~repro.harness.experiments.ExperimentResult` whose
+    rows are ``[label, v1, v2, ...]`` against its headers."""
+    groups = {}
+    for row in result.rows:
+        label, values = row[0], row[1:]
+        numeric = {}
+        for name, value in zip(result.headers[1:], values):
+            if isinstance(value, (int, float)):
+                numeric[name] = float(value)
+        if numeric:
+            groups[str(label)] = numeric
+    return grouped_bars(result.name, groups, baseline=baseline)

@@ -1,0 +1,65 @@
+"""Fixed-width report rendering for the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width text table (the paper's rows/series)."""
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup(value: float, baseline: float) -> float:
+    """``value / baseline`` guarded against a zero baseline."""
+    if baseline == 0:
+        return 0.0
+    return value / baseline
+
+
+def reduction(baseline: float, value: float) -> float:
+    """``baseline / value`` ("reduction" axes: higher is better)."""
+    if value == 0:
+        return 0.0
+    return baseline / value
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (0 if any value is non-positive or list empty)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            return 0.0
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def bench_label(benchmark: str, threads: Optional[int]) -> str:
+    """Row label in the paper's style, e.g. ``hash-2t``."""
+    if threads is None:
+        return benchmark
+    return f"{benchmark}-{threads}t"

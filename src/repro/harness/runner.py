@@ -1,0 +1,148 @@
+"""Single-experiment driver.
+
+Builds a machine under a policy, sets a workload up (untimed), then runs
+one transaction-generator per thread, always advancing the thread whose
+core clock is furthest behind — a fair interleaving in which the shared
+LLC and NVRAM banks see time-ordered contention.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.policy import Policy
+from ..errors import WorkloadError
+from ..sim.config import SystemConfig
+from ..sim.machine import Machine
+from ..sim.stats import MachineStats
+from ..txn.runtime import PersistentMemory
+from ..workloads.base import Workload
+
+
+def default_experiment_config(**overrides) -> SystemConfig:
+    """Scaled-down Table II configuration used by the experiments.
+
+    The LLC and footprints are scaled together (1 MB LLC against multi-MB
+    footprints preserves the paper's footprint >> LLC regime) so that runs
+    finish in seconds under the Python simulator; all latency, bank and
+    energy parameters stay at their Table II values.  See EXPERIMENTS.md.
+    """
+    from ..sim.config import CacheConfig, LoggingConfig, NVDimmConfig
+
+    base = SystemConfig(
+        num_cores=8,
+        llc=CacheConfig(size_bytes=256 * 1024, ways=16, line_size=64, latency_ns=4.4),
+        nvram=NVDimmConfig(size_bytes=64 * 1024 * 1024),
+        logging=LoggingConfig(log_entries=16384),
+    )
+    return base.scaled(**overrides) if overrides else base
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Parameters of one simulated run."""
+
+    policy: Policy
+    threads: int = 1
+    txns_per_thread: int = 200
+    system: Optional[SystemConfig] = None
+    seed: int = 42
+
+
+@dataclass
+class PreparedWorkload:
+    """A workload with its setup phase already executed.
+
+    Setup can dominate sweep time (it builds megabytes of persistent
+    structures); preparing once and restoring the NVRAM image per run
+    keeps every policy/thread cell bit-identical at start.
+    """
+
+    workload: Workload
+    system: SystemConfig
+    image: bytes
+    heap_state: tuple
+
+
+def prepare_workload(
+    workload: Workload, system: Optional[SystemConfig] = None
+) -> PreparedWorkload:
+    """Run ``workload.setup`` once and capture the initial NVRAM state."""
+    system = system or default_experiment_config()
+    machine = Machine(system, Policy.NON_PERS)
+    pm = PersistentMemory(machine)
+    workload.setup(pm)
+    return PreparedWorkload(
+        workload, system, bytes(machine.nvram.image), pm.heap.snapshot()
+    )
+
+
+@dataclass
+class RunOutcome:
+    """Everything a finished run exposes."""
+
+    policy: Policy
+    threads: int
+    stats: MachineStats
+    machine: Machine = field(repr=False)
+    pm: PersistentMemory = field(repr=False)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per million cycles."""
+        return self.stats.throughput
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle."""
+        return self.stats.ipc
+
+
+def run_workload(
+    workload: Workload,
+    run: RunConfig,
+    prepared: Optional[PreparedWorkload] = None,
+) -> RunOutcome:
+    """Execute ``workload`` under ``run`` and return the outcome.
+
+    With ``prepared``, the setup phase is skipped and the prepared NVRAM
+    image and heap state are restored instead (the workload must be the
+    prepared one).
+    """
+    system = run.system or (prepared.system if prepared else default_experiment_config())
+    if run.threads > system.num_cores:
+        raise WorkloadError(
+            f"{run.threads} threads need {run.threads} cores, "
+            f"config has {system.num_cores}"
+        )
+    machine = Machine(system, run.policy)
+    pm = PersistentMemory(machine)
+    if prepared is not None:
+        if prepared.workload is not workload:
+            raise WorkloadError("prepared state belongs to a different workload")
+        machine.nvram.image[:] = prepared.image
+        pm.heap.restore(prepared.heap_state)
+        workload.attach(pm)
+    else:
+        workload.setup(pm)
+
+    generators = []
+    for tid in range(run.threads):
+        api = pm.api(core_id=tid, tid=tid)
+        generators.append(workload.thread_body(api, tid, run.txns_per_thread))
+
+    # Min-heap on core clock; tie-break on thread id for determinism.
+    ready = [(machine.core_time(tid), tid) for tid in range(run.threads)]
+    heapq.heapify(ready)
+    while ready:
+        _, tid = heapq.heappop(ready)
+        try:
+            next(generators[tid])
+        except StopIteration:
+            continue
+        heapq.heappush(ready, (machine.core_time(tid), tid))
+
+    stats = machine.finalize()
+    return RunOutcome(run.policy, run.threads, stats, machine, pm)

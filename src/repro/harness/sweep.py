@@ -1,0 +1,96 @@
+"""Configuration sweeps shared by the figure reproductions.
+
+Figures 6-9 all read off the same matrix of runs (benchmark x thread
+count x policy); :func:`run_micro_sweep` executes it once and the figure
+functions extract their metric.  Only the stats snapshot is retained per
+cell to keep memory bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..core.policy import MICROBENCH_POLICIES, Policy
+from ..sim.config import SystemConfig
+from ..sim.stats import MachineStats
+from ..workloads import make_microbenchmark
+from ..workloads.base import Workload
+from .runner import RunConfig, prepare_workload, run_workload
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point in the sweep matrix."""
+
+    benchmark: str
+    threads: int
+    policy: Policy
+
+
+@dataclass
+class SweepResult:
+    """Stats for every executed cell."""
+
+    cells: dict = field(default_factory=dict)
+
+    def stats(self, benchmark: str, threads: int, policy: Policy) -> MachineStats:
+        """Stats for one cell (KeyError if the cell was not swept)."""
+        return self.cells[SweepCell(benchmark, threads, policy)]
+
+    def benchmarks(self) -> list:
+        """Benchmark names present, in first-seen order."""
+        seen = []
+        for cell in self.cells:
+            if cell.benchmark not in seen:
+                seen.append(cell.benchmark)
+        return seen
+
+    def thread_counts(self) -> list:
+        """Thread counts present, ascending."""
+        return sorted({cell.threads for cell in self.cells})
+
+    def policies(self) -> list:
+        """Policies present, in paper order."""
+        present = {cell.policy for cell in self.cells}
+        return [policy for policy in MICROBENCH_POLICIES if policy in present]
+
+
+def run_micro_sweep(
+    benchmarks: Iterable[str] = ("hash", "rbtree", "sps", "btree", "ssca2"),
+    threads: Iterable[int] = (1,),
+    policies: Iterable[Policy] = MICROBENCH_POLICIES,
+    txns_per_thread: int = 200,
+    system: Optional[SystemConfig] = None,
+    seed: int = 42,
+    value_kind: str = "int",
+    workload_factory: Optional[Callable[[str], Workload]] = None,
+) -> SweepResult:
+    """Run the benchmark x threads x policy matrix; returns all stats.
+
+    ``workload_factory`` may override how a benchmark name becomes a
+    workload (used by the WHISPER sweep and by tests).
+    """
+    result = SweepResult()
+    for benchmark in benchmarks:
+        if workload_factory is not None:
+            workload = workload_factory(benchmark)
+        else:
+            workload = make_microbenchmark(benchmark, seed=seed, value_kind=value_kind)
+        prepared = prepare_workload(workload, system)
+        for nthreads in threads:
+            for policy in policies:
+                outcome = run_workload(
+                    workload,
+                    RunConfig(
+                        policy=policy,
+                        threads=nthreads,
+                        txns_per_thread=txns_per_thread,
+                        system=system,
+                        seed=seed,
+                    ),
+                    prepared=prepared,
+                )
+                cell = SweepCell(benchmark, nthreads, policy)
+                result.cells[cell] = outcome.stats
+    return result

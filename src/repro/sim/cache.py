@@ -1,0 +1,152 @@
+"""Set-associative cache holding real line data.
+
+The cache is functional *and* timed: lines carry their 64 bytes so that
+undo values (Section III-B: "its address, old value, and new value are all
+available in the cache hierarchy") and crash states are exact.  Each line
+also carries the paper's two persistence-related bits:
+
+* ``dirty`` — standard write-back dirty bit;
+* ``fwb`` — the extra force-write-back bit added by the FWB mechanism
+  (Section IV-D), driving the IDLE/FLAG/FWB state machine.
+
+``log_release`` records the time by which all HWL log records covering the
+line's dirty words are durable; a write-back may not reach NVRAM earlier
+(the inherent ordering guarantee of Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import SimulationError
+from ..utils import line_address
+from .config import CacheConfig
+
+
+class CacheLine:
+    """One cache line: tag (= line base address), data, and state bits."""
+
+    __slots__ = ("addr", "data", "dirty", "fwb", "last_use", "log_release")
+
+    def __init__(self, addr: int, data: bytes, now: float) -> None:
+        self.addr = addr
+        self.data = bytearray(data)
+        self.dirty = False
+        self.fwb = False
+        self.last_use = now
+        self.log_release = 0.0
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out of a cache (victim or invalidation)."""
+
+    addr: int
+    data: bytes
+    dirty: bool
+    log_release: float
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache with write-back write-allocate semantics.
+
+    Sets are allocated lazily (a dict keyed by set index) so that large
+    caches cost memory only for the sets actually touched.
+    """
+
+    def __init__(self, config: CacheConfig, name: str) -> None:
+        config.validate()
+        self.config = config
+        self.name = name
+        self._sets: dict[int, list[CacheLine]] = {}
+        self._num_sets = config.num_sets
+        self._line_size = config.line_size
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self._line_size) % self._num_sets
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Return the line containing ``addr`` or None (no LRU update)."""
+        line_addr = line_address(addr, self._line_size)
+        bucket = self._sets.get(self._set_index(line_addr))
+        if bucket is None:
+            return None
+        for line in bucket:
+            if line.addr == line_addr:
+                return line
+        return None
+
+    def touch(self, line: CacheLine, now: float) -> None:
+        """Mark ``line`` most-recently-used at ``now``."""
+        line.last_use = now
+
+    # ------------------------------------------------------------------
+    # Allocation / eviction
+    # ------------------------------------------------------------------
+    def insert(
+        self, line_addr: int, data: bytes, now: float, dirty: bool = False
+    ) -> Optional[EvictedLine]:
+        """Insert a line, evicting the LRU victim if the set is full.
+
+        Returns the evicted line (which the caller must write back if
+        dirty) or None.  Inserting a line that is already present is a
+        simulator bug and raises :class:`SimulationError`.
+        """
+        if len(data) != self._line_size:
+            raise SimulationError(
+                f"{self.name}: insert of {len(data)} bytes, line is {self._line_size}"
+            )
+        index = self._set_index(line_addr)
+        bucket = self._sets.setdefault(index, [])
+        for line in bucket:
+            if line.addr == line_addr:
+                raise SimulationError(f"{self.name}: duplicate insert {line_addr:#x}")
+        victim: Optional[EvictedLine] = None
+        if len(bucket) >= self.config.ways:
+            lru = min(bucket, key=lambda ln: ln.last_use)
+            bucket.remove(lru)
+            victim = EvictedLine(lru.addr, bytes(lru.data), lru.dirty, lru.log_release)
+        line = CacheLine(line_addr, data, now)
+        line.dirty = dirty
+        bucket.append(line)
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[EvictedLine]:
+        """Remove the line containing ``addr``; return its final state."""
+        line_addr = line_address(addr, self._line_size)
+        index = self._set_index(line_addr)
+        bucket = self._sets.get(index)
+        if not bucket:
+            return None
+        for line in bucket:
+            if line.addr == line_addr:
+                bucket.remove(line)
+                return EvictedLine(
+                    line.addr, bytes(line.data), line.dirty, line.log_release
+                )
+        return None
+
+    def drop_all(self) -> None:
+        """Discard every line (power loss)."""
+        self._sets.clear()
+
+    # ------------------------------------------------------------------
+    # Iteration (FWB scanning, tests)
+    # ------------------------------------------------------------------
+    def iter_lines(self) -> Iterator[CacheLine]:
+        """Iterate all valid lines (order unspecified)."""
+        for bucket in self._sets.values():
+            yield from bucket
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(bucket) for bucket in self._sets.values())
+
+    def dirty_count(self) -> int:
+        """Number of dirty lines (test/FWB visibility)."""
+        return sum(1 for line in self.iter_lines() if line.dirty)

@@ -1,0 +1,164 @@
+"""Core execution model.
+
+Each core executes micro-ops in program order, charging a calibrated
+latency per op.  The model is not cycle-accurate out-of-order; instead,
+``*_exposed`` factors in :class:`~repro.sim.config.CoreConfig` express the
+fraction of a miss latency the instruction window cannot hide.  This is
+sufficient because the paper's results are relative across persistence
+designs running identical workloads.
+
+Per-core state relevant to persistence:
+
+* ``pending_completion`` — the latest durability time of writes this core
+  has posted via clwb or the WCB; ``sfence`` waits for it;
+* a private write-combining buffer for uncacheable software log stores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from .config import CoreConfig
+from .energy import EnergyModel
+from .hierarchy import CacheHierarchy
+from .microops import CLWB, Compute, Fence, Load, LogStore, MicroOp, Store, TxBegin, TxCommit
+from .stats import MachineStats
+from .wcb import WriteCombiningBuffer
+
+
+class Core:
+    """One simulated core with a local clock and retired-instruction count."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        hierarchy: CacheHierarchy,
+        wcb: WriteCombiningBuffer,
+        stats: MachineStats,
+        energy: EnergyModel,
+        hwl=None,
+    ) -> None:
+        self.core_id = core_id
+        self._config = config
+        self._hierarchy = hierarchy
+        self.wcb = wcb
+        self._stats = stats
+        self._energy = energy
+        self._hwl = hwl
+        self.time = 0.0
+        self.instret = 0
+        self.pending_completion = 0.0
+
+    # ------------------------------------------------------------------
+    def execute(self, op: MicroOp) -> Optional[object]:
+        """Execute one micro-op; returns load data or commit time if any."""
+        if isinstance(op, Compute):
+            return self._exec_compute(op)
+        if isinstance(op, Load):
+            return self._exec_load(op)
+        if isinstance(op, Store):
+            return self._exec_store(op)
+        if isinstance(op, LogStore):
+            return self._exec_logstore(op)
+        if isinstance(op, CLWB):
+            return self._exec_clwb(op)
+        if isinstance(op, Fence):
+            return self._exec_fence(op)
+        if isinstance(op, TxBegin):
+            return self._exec_tx_begin(op)
+        if isinstance(op, TxCommit):
+            return self._exec_tx_commit(op)
+        raise SimulationError(f"unknown micro-op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _retire(self, count: int) -> None:
+        self.instret += count
+        self._stats.instructions += count
+        self._energy.instructions(count)
+
+    def _exec_compute(self, op: Compute) -> None:
+        self._retire(op.count)
+        self.time += op.count * self._config.cpi_alu
+
+    def _exec_load(self, op: Load) -> bytes:
+        result = self._hierarchy.load(self.core_id, op.addr, op.size, self.time)
+        self._retire(1)
+        if result.level == "l1":
+            charge = self._config.load_issue_cycles + 1.0
+        else:
+            extra = result.latency - self._hierarchy.l1_latency
+            charge = self._config.load_issue_cycles + self._config.load_miss_exposed * extra
+        self.time += charge
+        return result.data
+
+    def _exec_store(self, op: Store) -> None:
+        # Two-phase store: allocate the line and capture the old value
+        # first; for persistent stores the HWL engine logs undo+redo
+        # before the new value becomes visible to write-backs (so a
+        # log-wrap force in between can never leak an unlogged value).
+        result = self._hierarchy.store_prepare(
+            self.core_id, op.addr, len(op.data), self.time
+        )
+        self._retire(1)
+        charge = self._config.store_issue_cycles
+        if result.level != "l1":
+            extra = result.latency - self._hierarchy.l1_latency
+            charge += self._config.store_miss_exposed * extra
+        self.time += charge
+        release = 0.0
+        if op.persistent and self._hwl is not None:
+            stall, release = self._hwl.on_store(
+                self.core_id,
+                op.txid,
+                op.tid,
+                op.addr,
+                result.old_data,
+                op.data,
+                result.line_addr,
+                self.time,
+            )
+            self.time += stall
+        self._hierarchy.store_finish(self.core_id, op.addr, op.data, release)
+
+    def _exec_logstore(self, op: LogStore) -> None:
+        self._retire(1)
+        self.time += self._config.uncached_store_issue_cycles
+        stall = self.wcb.push(op.addr, op.payload, self.time)
+        self.time += stall
+        self._stats.log_records += 1
+        self._stats.log_bytes += len(op.payload)
+
+    def _exec_clwb(self, op: CLWB) -> None:
+        self._retire(1)
+        self.time += self._config.clwb_issue_cycles
+        completion = self._hierarchy.clwb(self.core_id, op.addr, self.time)
+        if completion is not None:
+            self.pending_completion = max(self.pending_completion, completion)
+
+    def _exec_fence(self, op: Fence) -> None:
+        self._retire(1)
+        self.time += self._config.fence_issue_cycles
+        self.wcb.flush(self.time)
+        self.pending_completion = max(self.pending_completion, self.wcb.last_completion)
+        if self.pending_completion > self.time:
+            self._stats.fence_stall_cycles += self.pending_completion - self.time
+            self.time = self.pending_completion
+
+    def _exec_tx_begin(self, op: TxBegin) -> None:
+        self._stats.transactions_started += 1
+        if op.overhead_instrs:
+            self._retire(op.overhead_instrs)
+            self.time += op.overhead_instrs * self._config.cpi_alu
+        if self._hwl is not None:
+            self._hwl.on_tx_begin(op.txid, op.tid, self.time)
+
+    def _exec_tx_commit(self, op: TxCommit) -> Optional[float]:
+        self._stats.transactions_committed += 1
+        if op.overhead_instrs:
+            self._retire(op.overhead_instrs)
+            self.time += op.overhead_instrs * self._config.cpi_alu
+        if self._hwl is not None:
+            return self._hwl.on_tx_commit(op.txid, op.tid, self.time)
+        return None

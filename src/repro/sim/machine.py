@@ -1,0 +1,291 @@
+"""The assembled machine: cores, caches, memory controller, logging.
+
+Address-space layout (all inside the NVRAM device; the paper's DRAM side
+holds non-persistent data and is not evaluated):
+
+* ``[HEAP_BASE, log_base)`` — persistent heap (working data);
+* ``[log_base, nvram_size)`` — the circular log region, where
+  ``log_base = nvram_size - log_entries * log_entry_size``.
+
+The machine wires the persistence machinery selected by the
+:class:`~repro.core.policy.Policy`: the HWL engine and log buffer for
+hardware-logging designs, a :class:`~repro.core.softlog.SoftwareLog` for
+software designs, and the FWB scanner for the full design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.fwb import ForceWriteBack
+from ..core.growlog import DIRECTORY_BYTES, GrowableCircularLog, RegionDirectory
+from ..core.hwl import HardwareLogging
+from ..core.logbuffer import LogBuffer
+from ..core.multilog import LogRouter, split_log_region
+from ..core.nvlog import CircularLog
+from ..core.policy import Policy
+from ..core.registers import SpecialRegisters
+from ..core.softlog import SoftwareLog
+from ..errors import SimulationError
+from .config import SystemConfig
+from .core import Core
+from .energy import EnergyModel
+from .hierarchy import CacheHierarchy
+from .memctrl import MemoryController
+from .microops import MicroOp
+from .nvram import NVRAM
+from .stats import MachineStats
+from .wcb import WriteCombiningBuffer
+
+HEAP_BASE = 4096
+_RETIRE_PERIOD = 4096  # ops between housekeeping passes
+
+
+class Machine:
+    """A complete simulated system under one persistence policy."""
+
+    def __init__(self, config: SystemConfig, policy: Policy = Policy.NON_PERS) -> None:
+        config.validate()
+        self.config = config
+        self.policy = policy
+        self.stats = MachineStats()
+        self.energy = EnergyModel(config.energy, self.stats)
+        self.nvram = NVRAM(config.nvram, config.track_crash_state)
+        self.memctrl = MemoryController(
+            config.memctrl,
+            config.nvram,
+            self.nvram,
+            self.energy,
+            self.stats,
+            config.core.clock_ghz,
+        )
+        self.hierarchy = CacheHierarchy(config, self.memctrl, self.energy, self.stats)
+        self.registers = SpecialRegisters()
+
+        logging = config.logging
+        log_bytes = logging.log_bytes
+        self.log_base = config.nvram.size_bytes - log_bytes
+        heap_limit = self.log_base
+        self.log_directory_addr: Optional[int] = None
+        self._grow_cursor = 0
+        self._grow_floor = 0
+        if logging.enable_log_grow:
+            # Reserve the directory block and a growth arena below the
+            # primary log region.
+            self.log_directory_addr = self.log_base - DIRECTORY_BYTES
+            arena_bytes = logging.log_grow_reserve_regions * log_bytes
+            self._grow_floor = self.log_directory_addr - arena_bytes
+            self._grow_cursor = self.log_directory_addr
+            heap_limit = self._grow_floor
+        if heap_limit <= HEAP_BASE:
+            raise SimulationError("log region leaves no room for the heap")
+        self._heap_limit = heap_limit
+
+        if logging.enable_log_grow:
+            self.log = GrowableCircularLog(
+                self.log_base,
+                logging.log_entries,
+                logging.log_entry_size,
+                config.line_size,
+                region_allocator=self._alloc_grow_region,
+                activity_token=self.registers.activity_token,
+                directory=RegionDirectory(self.nvram, self.log_directory_addr),
+            )
+            self.logs = [self.log]
+        elif logging.distributed_logs > 0:
+            self.logs = split_log_region(
+                self.log_base,
+                logging.log_entries,
+                logging.log_entry_size,
+                logging.distributed_logs,
+                config.line_size,
+            )
+            self.log = self.logs[0]
+        else:
+            self.log = CircularLog(
+                self.log_base,
+                logging.log_entries,
+                logging.log_entry_size,
+                config.line_size,
+            )
+            self.logs = [self.log]
+        self.nvram.register_region("heap", HEAP_BASE, heap_limit - HEAP_BASE)
+        self.nvram.register_region("log", heap_limit, config.nvram.size_bytes - heap_limit)
+
+        self.hwl: Optional[HardwareLogging] = None
+        self.log_buffer: Optional[LogBuffer] = None
+        self.log_router: Optional[LogRouter] = None
+        self.swlog: Optional[SoftwareLog] = None
+        self.fwb: Optional[ForceWriteBack] = None
+        if policy.uses_hw_logging:
+            buffers = [
+                LogBuffer(logging.log_buffer_entries, self.memctrl, self.stats)
+                for _ in self.logs
+            ]
+            self.log_buffer = buffers[0]
+            self.log_router = LogRouter(self.logs, buffers)
+            self.hwl = HardwareLogging(
+                self.log_router,
+                self.hierarchy,
+                self.registers,
+                self.stats,
+                record_undo=policy.logs_undo,
+                record_redo=policy.logs_redo,
+                protect_wrap=policy.protects_log_wrap,
+            )
+        if policy.uses_sw_logging:
+            self.swlog = SoftwareLog(
+                self.log,
+                self.registers,
+                record_undo=policy.logs_undo,
+                record_redo=policy.logs_redo,
+            )
+        if policy.uses_fwb:
+            self.fwb = ForceWriteBack(config, self.hierarchy, self.stats)
+
+        self.cores = [
+            Core(
+                core_id,
+                config.core,
+                self.hierarchy,
+                WriteCombiningBuffer(
+                    config.logging.wcb_entries,
+                    config.line_size,
+                    self.memctrl,
+                    self.stats,
+                ),
+                self.stats,
+                self.energy,
+                hwl=self.hwl,
+            )
+            for core_id in range(config.num_cores)
+        ]
+        if policy.uses_sw_logging and policy.persistence_guaranteed:
+            # Software log records must not be overtaken by their data
+            # lines; flush the WCBs before any data write-back.
+            self.hierarchy.writeback_release_hook = self._flush_wcbs
+        self.crashed = False
+        self._ops_since_retire = 0
+        self.tracer = None
+        """Optional :class:`~repro.sim.trace.Tracer` recording tx/FWB/crash
+        events; None (the default) costs nothing."""
+
+    # ------------------------------------------------------------------
+    # Address-space helpers
+    # ------------------------------------------------------------------
+    @property
+    def heap_base(self) -> int:
+        """First usable heap address."""
+        return HEAP_BASE
+
+    @property
+    def heap_limit(self) -> int:
+        """One past the last usable heap address."""
+        return self._heap_limit
+
+    def _alloc_grow_region(self, size_bytes: int) -> int:
+        """Carve a fresh log region out of the reserved growth arena."""
+        if self._grow_cursor - size_bytes < self._grow_floor:
+            raise SimulationError("log growth arena exhausted")
+        self._grow_cursor -= size_bytes
+        return self._grow_cursor
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, core_id: int, op: MicroOp) -> Optional[object]:
+        """Execute one micro-op on ``core_id``; returns op-specific data."""
+        if self.crashed:
+            raise SimulationError("machine has crashed; no further execution")
+        core = self.cores[core_id]
+        if self.tracer is None:
+            if self.fwb is not None:
+                self.fwb.maybe_scan(core.time)
+            result = core.execute(op)
+        else:
+            result = self._execute_traced(core, op)
+        self._ops_since_retire += 1
+        if self._ops_since_retire >= _RETIRE_PERIOD:
+            self._ops_since_retire = 0
+            self.memctrl.retire(min(c.time for c in self.cores))
+        return result
+
+    def _execute_traced(self, core: Core, op: MicroOp):
+        from .microops import TxBegin, TxCommit
+
+        scans_before = self.stats.fwb_scans
+        forces_before = self.stats.log_wrap_forced_writebacks
+        if self.fwb is not None:
+            self.fwb.maybe_scan(core.time)
+        result = core.execute(op)
+        if isinstance(op, TxBegin):
+            self.tracer.emit(core.time, "tx_begin", core.core_id, txid=op.txid)
+        elif isinstance(op, TxCommit):
+            durable = float(result) if isinstance(result, float) else None
+            self.tracer.emit(
+                core.time, "tx_commit", core.core_id, txid=op.txid, durable=durable
+            )
+        if self.stats.fwb_scans > scans_before:
+            self.tracer.emit(core.time, "fwb_scan", core.core_id)
+        if self.stats.log_wrap_forced_writebacks > forces_before:
+            self.tracer.emit(
+                core.time,
+                "log_wrap_force",
+                core.core_id,
+                count=self.stats.log_wrap_forced_writebacks - forces_before,
+            )
+        return result
+
+    def core_time(self, core_id: int) -> float:
+        """Local clock of ``core_id``."""
+        return self.cores[core_id].time
+
+    def _flush_wcbs(self, _line_addr: int, now: float) -> float:
+        """Drain every core's WCB; returns the last record completion."""
+        release = 0.0
+        for core in self.cores:
+            release = max(release, core.wcb.flush(now))
+        return release
+
+    def force_line_durable(self, line_addr: int, now: float) -> float:
+        """Force a dirty line to NVRAM (software log-wrap protection).
+
+        Returns the time at which the line is durable (``now`` if it was
+        already clean).
+        """
+        completion = self.hierarchy.force_writeback(line_addr, now)
+        if completion is None:
+            return now
+        self.stats.log_wrap_forced_writebacks += 1
+        return completion
+
+    # ------------------------------------------------------------------
+    # End of run / crash
+    # ------------------------------------------------------------------
+    def finalize(self) -> MachineStats:
+        """Record per-core totals and overall cycle count; return stats."""
+        self.stats.cycles = max((core.time for core in self.cores), default=0.0)
+        for core in self.cores:
+            self.stats.record_core(core.core_id, core.instret, core.time)
+        return self.stats
+
+    def crash(self, at_time: Optional[float] = None) -> float:
+        """Power failure at ``at_time`` (default: the latest core clock).
+
+        All volatile state disappears: caches, WCBs, the log buffer, and
+        any NVRAM write that had not completed by the crash instant.
+        Returns the crash time.  Only the NVRAM image survives; recover
+        with :class:`repro.core.recovery.RecoveryManager`.
+        """
+        crash_time = at_time
+        if crash_time is None:
+            crash_time = max((core.time for core in self.cores), default=0.0)
+        if self.tracer is not None:
+            self.tracer.emit(crash_time, "crash")
+        self.nvram.revert_after(crash_time)
+        self.hierarchy.drop_all()
+        for core in self.cores:
+            core.wcb.drop()
+        self.crashed = True
+        self.finalize()
+        return crash_time

@@ -1,0 +1,155 @@
+"""Byte-addressable NVRAM device: functional image plus bank/row state.
+
+The device owns the persistent byte image and the per-bank row-buffer
+state used by the memory controller for timing.  For crash testing it also
+keeps an *undo journal* of recently applied writes so that
+:meth:`revert_after` can discard writes that had been posted but were not
+yet durable at the crash instant (writes still in the controller's queues
+or in flight on the banks are, architecturally, volatile).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import AddressError
+from ..utils import check_range
+from .config import NVDimmConfig
+
+
+class NVRAM:
+    """NVRAM DIMM: persistent image, banks, row buffers, traffic counters."""
+
+    def __init__(self, config: NVDimmConfig, track_crash_state: bool = True) -> None:
+        config.validate()
+        self.config = config
+        self.image = bytearray(config.size_bytes)
+        self._track = track_crash_state
+        # Per-bank open rows (LRU list, newest last; the cited PCM design
+        # has several row buffers per bank) and next-free times.  Reads
+        # and writes are tracked separately: the memory controller
+        # schedules reads with priority and drains posted writes in the
+        # gaps (see MemoryController._service).
+        self.open_rows: list[list[int]] = [[] for _ in range(config.num_banks)]
+        self.bank_read_free: list[float] = [0.0] * config.num_banks
+        self.bank_write_free: list[float] = [0.0] * config.num_banks
+        # Undo journal: (completion_time, addr, old_bytes).
+        self._journal: list[tuple[float, int, bytes]] = []
+        self.total_read_bytes = 0
+        self.total_write_bytes = 0
+        self._regions: dict[str, tuple[int, int]] = {}
+        self.region_write_bytes: dict[str, int] = {}
+
+    def row_buffer_access(self, bank: int, row: int) -> bool:
+        """Touch ``row`` in ``bank``'s row buffers; True on a hit."""
+        rows = self.open_rows[bank]
+        if row in rows:
+            rows.remove(row)
+            rows.append(row)
+            return True
+        rows.append(row)
+        if len(rows) > self.config.row_buffers_per_bank:
+            rows.pop(0)
+        return False
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def bank_of(self, addr: int) -> int:
+        """Bank index for ``addr`` (cache-line interleaved across banks,
+        the usual DIMM configuration: sequential lines hit distinct banks
+        so streams — like the log — use all-bank bandwidth)."""
+        return (addr // self.config.interleave_bytes) % self.config.num_banks
+
+    def row_of(self, addr: int) -> int:
+        """Row index (within its bank) for ``addr``.
+
+        With line interleaving, one row per bank covers a contiguous
+        ``row_bytes * num_banks`` stripe of the address space.
+        """
+        return addr // (self.config.row_bytes * self.config.num_banks)
+
+    # ------------------------------------------------------------------
+    # Region registration (stats only)
+    # ------------------------------------------------------------------
+    def register_region(self, name: str, base: int, size: int) -> None:
+        """Label an address range for per-region write accounting."""
+        check_range(base, size, self.config.size_bytes, f"region {name}")
+        self._regions[name] = (base, size)
+        self.region_write_bytes.setdefault(name, 0)
+
+    def _account_region_write(self, addr: int, size: int) -> None:
+        for name, (base, rsize) in self._regions.items():
+            if base <= addr < base + rsize:
+                self.region_write_bytes[name] += size
+                return
+
+    # ------------------------------------------------------------------
+    # Functional access
+    # ------------------------------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        """Functional read of ``size`` bytes (no timing)."""
+        check_range(addr, size, self.config.size_bytes, "NVRAM read")
+        self.total_read_bytes += size
+        return bytes(self.image[addr:addr + size])
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Read without touching traffic counters (for recovery/tests)."""
+        check_range(addr, size, self.config.size_bytes, "NVRAM peek")
+        return bytes(self.image[addr:addr + size])
+
+    def write(self, addr: int, data: bytes, completion_time: float = 0.0) -> None:
+        """Apply a write that becomes durable at ``completion_time``.
+
+        The write is applied to the image immediately (the simulator is
+        functional-first); if crash tracking is on, the overwritten bytes
+        are journaled so :meth:`revert_after` can undo writes that were
+        still in flight at a crash.
+        """
+        size = len(data)
+        check_range(addr, size, self.config.size_bytes, "NVRAM write")
+        if self._track:
+            old = bytes(self.image[addr:addr + size])
+            self._journal.append((completion_time, addr, old))
+        self.image[addr:addr + size] = data
+        self.total_write_bytes += size
+        self._account_region_write(addr, size)
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write without timing, journaling, or counters (setup/recovery)."""
+        check_range(addr, len(data), self.config.size_bytes, "NVRAM poke")
+        self.image[addr:addr + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Crash support
+    # ------------------------------------------------------------------
+    def retire_journal(self, now: float) -> None:
+        """Drop journal entries already durable at ``now`` (bounds memory)."""
+        if not self._journal:
+            return
+        keep = [entry for entry in self._journal if entry[0] > now]
+        self._journal = keep
+
+    def revert_after(self, crash_time: float) -> int:
+        """Undo writes whose durability time is after ``crash_time``.
+
+        Entries are reverted in reverse application order, which restores
+        the image to exactly the set of writes durable at the crash (writes
+        to the same address are serviced FIFO by their bank, so the lost
+        set is a per-address suffix).  Returns the number of reverted
+        writes.
+        """
+        if not self._track:
+            raise AddressError("crash tracking disabled for this NVRAM device")
+        reverted = 0
+        for completion, addr, old in reversed(self._journal):
+            if completion > crash_time:
+                self.image[addr:addr + len(old)] = old
+                reverted += 1
+        self._journal = []
+        return reverted
+
+    @property
+    def journal_length(self) -> int:
+        """Number of not-yet-retired journal entries (test visibility)."""
+        return len(self._journal)

@@ -1,0 +1,80 @@
+"""Optional execution tracer.
+
+Attach a :class:`Tracer` to a machine to record a timeline of
+persistence-relevant events — transaction begins/commits (with their
+durability times), FWB scans, log-wrap forced write-backs, and the crash
+instant.  Useful for debugging recovery scenarios and for inspecting how
+far commit durability lags the core clock under "steal but no force".
+
+.. code-block:: python
+
+    machine = Machine(config, Policy.FWB)
+    machine.tracer = Tracer()
+    ...
+    print(machine.tracer.summary())
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    core: int
+    detail: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded in-memory event recorder."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self._events: deque = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+
+    def emit(self, time: float, kind: str, core: int = -1, **detail) -> None:
+        """Record one event."""
+        self._events.append(TraceEvent(time, kind, core, detail))
+        self.counts[kind] += 1
+
+    # ------------------------------------------------------------------
+    def events(self, kind: Optional[str] = None) -> list:
+        """All events, optionally filtered by kind, in emission order."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def commit_lags(self) -> list:
+        """Per-commit durability lag (durable_time - commit_time).
+
+        Under the full design commits are instant at the core but durable
+        only once the commit record drains — this is that gap.
+        """
+        lags = []
+        for event in self.events("tx_commit"):
+            durable = event.detail.get("durable")
+            if durable is not None:
+                lags.append(max(0.0, durable - event.time))
+        return lags
+
+    def summary(self) -> str:
+        """Human-readable event-count summary."""
+        lines = ["trace summary", "-------------"]
+        for kind, count in sorted(self.counts.items()):
+            lines.append(f"{kind:24s} {count}")
+        lags = self.commit_lags()
+        if lags:
+            lines.append(
+                f"{'commit durability lag':24s} "
+                f"avg {sum(lags) / len(lags):.0f} / max {max(lags):.0f} cycles"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,77 @@
+"""Persistent heap allocator.
+
+A simple bump allocator with size-classed free lists over the NVRAM data
+region.  Workloads allocate nodes/buckets/records from it; the allocator
+itself is host-side metadata (the paper's workloads likewise manage their
+own persistent layouts).
+"""
+
+from __future__ import annotations
+
+from ..errors import AddressError
+from ..utils import align_up
+
+
+class PersistentHeap:
+    """Bump allocator with free lists, word-aligned by default."""
+
+    def __init__(self, base: int, limit: int, alignment: int = 8) -> None:
+        if base >= limit:
+            raise AddressError(f"empty heap range [{base:#x}, {limit:#x})")
+        self._base = base
+        self._limit = limit
+        self._alignment = alignment
+        self._cursor = align_up(base, alignment)
+        self._free: dict[int, list[int]] = {}
+        self.allocated_bytes = 0
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the address.
+
+        Raises :class:`AddressError` when the heap is exhausted.
+        """
+        if size <= 0:
+            raise AddressError(f"invalid allocation size {size}")
+        size = align_up(size, self._alignment)
+        bucket = self._free.get(size)
+        if bucket:
+            addr = bucket.pop()
+            self.allocated_bytes += size
+            return addr
+        if self._cursor + size > self._limit:
+            raise AddressError(
+                f"persistent heap exhausted: need {size}, "
+                f"{self._limit - self._cursor} left"
+            )
+        addr = self._cursor
+        self._cursor += size
+        self.allocated_bytes += size
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block to its size-class free list."""
+        size = align_up(size, self._alignment)
+        if not self._base <= addr < self._limit:
+            raise AddressError(f"free of address {addr:#x} outside the heap")
+        self._free.setdefault(size, []).append(addr)
+        self.allocated_bytes -= size
+
+    def snapshot(self) -> tuple:
+        """Capture allocator state (cursor + free lists) for later restore."""
+        return self._cursor, {size: list(addrs) for size, addrs in self._free.items()}
+
+    def restore(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        cursor, free = state
+        self._cursor = cursor
+        self._free = {size: list(addrs) for size, addrs in free.items()}
+
+    @property
+    def used_bytes(self) -> int:
+        """High-water mark of bump allocation."""
+        return self._cursor - align_up(self._base, self._alignment)
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes never yet allocated (free lists not counted)."""
+        return self._limit - self._cursor

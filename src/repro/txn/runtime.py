@@ -1,0 +1,408 @@
+"""Transaction runtime: the paper's software abstraction, lowered per policy.
+
+:class:`PersistentMemory` is the user-facing facade over one
+:class:`~repro.sim.machine.Machine`.  Each software thread obtains a
+:class:`ThreadAPI` bound to a core and drives transactions through it:
+
+.. code-block:: python
+
+    api = pm.api(core_id=0, tid=0)
+    api.tx_begin()
+    value = api.read(addr, 8)
+    api.write(addr, new_value)
+    api.tx_commit()
+
+``write`` is lowered according to the machine's policy:
+
+* ``non-pers`` — a plain store;
+* hardware logging (``hw-rlog``/``hw-ulog``/``hwl``/``fwb``) — a
+  persistent store; the HWL engine reacts inside the cache hierarchy with
+  **zero extra instructions** (the paper's central efficiency claim);
+* software undo (``unsafe-base``/``undo-clwb``) — an explicit old-value
+  load, bookkeeping instructions, an uncacheable log store, then the data
+  store (Figure 2(a));
+* software redo (``redo-clwb``) — an uncacheable redo log store; the
+  in-place store is *deferred* until the redo log is durable (the
+  Figure 1(b) memory barrier), with reads served from a write-set overlay.
+
+``tx_commit`` likewise lowers to the per-policy commit protocol and
+returns the transaction's durability time, which the
+:class:`GoldenModel` records for crash-consistency verification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.nvlog import PlacedRecord
+from ..core.policy import Policy
+from ..errors import TransactionError
+from ..sim.machine import Machine
+from ..sim.microops import CLWB, Compute, Fence, Load, LogStore, Store, TxBegin, TxCommit
+from ..utils import line_address, split_words
+from .heap import PersistentHeap
+
+
+class GoldenModel:
+    """Commit-ordered record of every transaction's final writes.
+
+    Used by crash tests: the expected NVRAM state at crash time ``T`` is
+    the setup image plus the writes of every transaction whose commit was
+    durable by ``T``, applied in commit order.
+    """
+
+    def __init__(self) -> None:
+        self.commits: list[tuple[float, dict[int, bytes]]] = []
+
+    def record(self, durable_time: float, writes: dict[int, bytes]) -> None:
+        """Record one committed transaction."""
+        self.commits.append((durable_time, dict(writes)))
+
+    def expected_at(self, crash_time: float) -> dict[int, bytes]:
+        """Word-piece image of all transactions durable by ``crash_time``."""
+        image: dict[int, bytes] = {}
+        for durable, writes in sorted(self.commits, key=lambda item: item[0]):
+            if durable <= crash_time:
+                image.update(writes)
+        return image
+
+    def touched_addresses(self) -> set[int]:
+        """Every word-piece address written by any recorded transaction."""
+        touched: set[int] = set()
+        for _durable, writes in self.commits:
+            touched.update(writes)
+        return touched
+
+
+class ThreadAPI:
+    """Transaction interface for one software thread on one core."""
+
+    def __init__(self, pm: "PersistentMemory", core_id: int, tid: int) -> None:
+        self._pm = pm
+        self._machine = pm.machine
+        self._policy = pm.machine.policy
+        self.core_id = core_id
+        self.tid = tid
+        self._txid: Optional[int] = None
+        self._writes: dict[int, bytes] = {}
+        self._write_lines: set[int] = set()
+        self._overlay: dict[int, bytes] = {}
+        self._pending_frees: list[tuple[int, int]] = []
+        self._local_free: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        """True between ``tx_begin`` and ``tx_commit``."""
+        return self._txid is not None
+
+    @property
+    def now(self) -> float:
+        """This thread's core clock."""
+        return self._machine.core_time(self.core_id)
+
+    @property
+    def heap(self) -> PersistentHeap:
+        """The shared persistent heap (allocation is host-side metadata)."""
+        return self._pm.heap
+
+    # ------------------------------------------------------------------
+    # Allocation: thread-local recycling with commit-deferred frees.
+    #
+    # A block freed inside a transaction must not be reused by another
+    # thread before that transaction commits — otherwise the reuser's
+    # writes and the freer's undo records race in the log, and recovery
+    # (which is not full ARIES) could roll a committed write back.  Frees
+    # therefore quarantine until commit and recycle only within the
+    # freeing thread.
+    # ------------------------------------------------------------------
+    def alloc(self, size: int) -> int:
+        """Allocate persistent memory, preferring this thread's recycled
+        blocks."""
+        from ..utils import align_up
+
+        size = align_up(size, 8)
+        bucket = self._local_free.get(size)
+        if bucket:
+            return bucket.pop()
+        return self._pm.heap.alloc(size)
+
+    def free(self, addr: int, size: int) -> None:
+        """Release a block; deferred to commit when inside a transaction."""
+        from ..utils import align_up
+
+        size = align_up(size, 8)
+        if self.in_transaction:
+            self._pending_frees.append((addr, size))
+        else:
+            self._local_free.setdefault(size, []).append(addr)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def tx_begin(self) -> int:
+        """Start a transaction; returns the user transaction ID."""
+        if self.in_transaction:
+            raise TransactionError("nested transactions are not supported")
+        policy = self._policy
+        txid = self._pm.next_txid()
+        self._txid = txid
+        self._writes = {}
+        self._write_lines = set()
+        self._overlay = {}
+        logging = self._machine.config.logging
+        if policy.uses_sw_logging:
+            overhead = logging.softlog_instrs_tx_begin
+        elif policy.uses_hw_logging:
+            overhead = logging.hw_instrs_tx_begin
+        else:
+            overhead = 0
+        self._machine.execute(
+            self.core_id, TxBegin(txid=txid, tid=self.tid, overhead_instrs=overhead)
+        )
+        if policy.uses_sw_logging:
+            placed = self._machine.swlog.begin(txid, self.tid)
+            self._emit_log(placed, "begin")
+        return txid
+
+    def tx_commit(self) -> float:
+        """Commit; returns the commit's durability time.
+
+        For designs without a persistence guarantee the returned time is
+        the (optimistic) core clock at commit.
+        """
+        if not self.in_transaction:
+            raise TransactionError("tx_commit outside a transaction")
+        policy = self._policy
+        txid = self._txid
+        durable = self._commit_for_policy(policy, txid)
+        self._pm.golden.record(durable, self._writes)
+        self._txid = None
+        self._writes = {}
+        self._write_lines = set()
+        self._overlay = {}
+        for addr, size in self._pending_frees:
+            self._local_free.setdefault(size, []).append(addr)
+        self._pending_frees = []
+        return durable
+
+    def transaction(self) -> "_TxContext":
+        """Context manager: ``with api.transaction(): ...``."""
+        return _TxContext(self)
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        """Transactional (or plain) read of ``size`` bytes."""
+        line_size = self._machine.config.line_size
+        out = bytearray()
+        cursor = addr
+        remaining = size
+        while remaining > 0:
+            line_end = line_address(cursor, line_size) + line_size
+            take = min(remaining, line_end - cursor)
+            data = self._machine.execute(self.core_id, Load(cursor, take))
+            out += data
+            cursor += take
+            remaining -= take
+        if self._overlay:
+            self._patch_overlay(addr, out)
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Persistent write, lowered according to the machine's policy."""
+        if not self.in_transaction:
+            raise TransactionError("persistent writes require a transaction")
+        policy = self._policy
+        for piece_addr, piece in split_words(addr, data):
+            self._writes[piece_addr] = piece
+            self._write_lines.add(
+                line_address(piece_addr, self._machine.config.line_size)
+            )
+            if policy is Policy.NON_PERS:
+                self._machine.execute(self.core_id, Store(piece_addr, piece))
+            elif policy.uses_hw_logging:
+                self._machine.execute(
+                    self.core_id,
+                    Store(
+                        piece_addr,
+                        piece,
+                        persistent=True,
+                        txid=self._txid,
+                        tid=self.tid,
+                    ),
+                )
+            elif policy.defers_in_place_stores:
+                self._sw_redo_write(piece_addr, piece)
+            else:
+                self._sw_undo_write(piece_addr, piece)
+
+    def compute(self, count: int) -> None:
+        """Execute ``count`` non-memory instructions."""
+        if count > 0:
+            self._machine.execute(self.core_id, Compute(count))
+
+    # ------------------------------------------------------------------
+    # Per-policy lowering
+    # ------------------------------------------------------------------
+    def _sw_undo_write(self, addr: int, piece: bytes) -> None:
+        """Software undo logging: load old value, log it, then store."""
+        logging = self._machine.config.logging
+        old = self._machine.execute(self.core_id, Load(addr, len(piece)))
+        self.compute(logging.softlog_instrs_per_record)
+        placed = self._machine.swlog.data(self._txid, self.tid, addr, old, piece)
+        self._emit_log(placed, "data")
+        self._machine.execute(self.core_id, Store(addr, piece))
+
+    def _sw_redo_write(self, addr: int, piece: bytes) -> None:
+        """Software redo logging: log the new value; defer the store."""
+        logging = self._machine.config.logging
+        self.compute(logging.softlog_instrs_per_record)
+        placed = self._machine.swlog.data(self._txid, self.tid, addr, b"", piece)
+        self._emit_log(placed, "data")
+        self._overlay[addr] = piece
+
+    def _commit_for_policy(self, policy: Policy, txid: int) -> float:
+        logging = self._machine.config.logging
+        core = self.core_id
+        if policy.uses_hw_logging:
+            durable = self._machine.execute(
+                core,
+                TxCommit(
+                    txid=txid,
+                    tid=self.tid,
+                    overhead_instrs=logging.hw_instrs_tx_commit,
+                ),
+            )
+            if policy is Policy.HWL:
+                # hwl still forces write-backs with clwb, but delayed past
+                # the commit point and unfenced (Figure 1(c): "clwb can be
+                # delayed") — the write-backs are posted, not waited on.
+                for line in sorted(self._write_lines):
+                    self._machine.execute(core, CLWB(line))
+            return float(durable) if durable is not None else self.now
+
+        if policy is Policy.NON_PERS:
+            self._machine.execute(core, TxCommit(txid=txid, tid=self.tid))
+            return self.now
+
+        # Software logging designs.
+        overhead = logging.softlog_instrs_tx_commit
+        if policy is Policy.UNSAFE_BASE:
+            placed = self._machine.swlog.commit(txid, self.tid)
+            self._emit_log(placed, "commit")
+            self._machine.execute(
+                core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
+            )
+            return self.now  # optimistic; no durability guarantee
+
+        if policy is Policy.UNDO_CLWB:
+            # Undo protocol: force the data (the write-back hook already
+            # guarantees the undo records reach NVRAM first), fence, then
+            # write the commit record.
+            for line in sorted(self._write_lines):
+                self._machine.execute(core, CLWB(line))
+            self._machine.execute(core, Fence())
+            placed = self._machine.swlog.commit(txid, self.tid)
+            self._emit_log(placed, "commit")
+            self._machine.execute(
+                core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
+            )
+            # The commit record drains with the WCB; its completion is the
+            # real commit point (no extra fence needed for correctness —
+            # an un-drained commit record just rolls the transaction back).
+            durable = self._machine.cores[core].wcb.flush(self.now)
+            return max(durable, self.now)
+
+        if policy is Policy.REDO_CLWB:
+            # Redo protocol: full redo log (incl. commit record) durable is
+            # the commit point; only then do the in-place stores start.
+            # The post-transaction clwbs are posted, not fenced — the redo
+            # log already guarantees recoverability of the in-place data.
+            placed = self._machine.swlog.commit(txid, self.tid)
+            self._emit_log(placed, "commit")
+            self._machine.execute(core, Fence())
+            durable = self.now
+            self._machine.execute(
+                core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
+            )
+            for addr, piece in self._overlay.items():
+                self._machine.execute(core, Store(addr, piece))
+            for line in sorted(self._write_lines):
+                self._machine.execute(core, CLWB(line))
+            return durable
+
+        raise TransactionError(f"unhandled policy {policy}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _emit_log(self, placed: PlacedRecord, kind: str) -> None:
+        """Issue the uncacheable store for a placed software log record."""
+        if self._policy.protects_log_wrap and placed.displaced_line is not None:
+            if self._machine.hierarchy.is_line_dirty(placed.displaced_line):
+                self._machine.force_line_durable(placed.displaced_line, self.now)
+        self._machine.execute(
+            self.core_id, LogStore(placed.addr, placed.payload, kind)
+        )
+
+    def _patch_overlay(self, addr: int, out: bytearray) -> None:
+        """Apply the redo write-set overlay to a read result."""
+        end = addr + len(out)
+        for piece_addr, piece in self._overlay.items():
+            piece_end = piece_addr + len(piece)
+            if piece_end <= addr or piece_addr >= end:
+                continue
+            lo = max(addr, piece_addr)
+            hi = min(end, piece_end)
+            out[lo - addr:hi - addr] = piece[lo - piece_addr:hi - piece_addr]
+
+
+class _TxContext:
+    """Context manager wrapping ``tx_begin``/``tx_commit``."""
+
+    def __init__(self, api: ThreadAPI) -> None:
+        self._api = api
+
+    def __enter__(self) -> ThreadAPI:
+        self._api.tx_begin()
+        return self._api
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._api.tx_commit()
+        return False
+
+
+class PersistentMemory:
+    """Facade over one machine: heap, thread APIs, golden model."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.heap = PersistentHeap(machine.heap_base, machine.heap_limit)
+        self.golden = GoldenModel()
+        self._txid_counter = 0
+
+    def next_txid(self) -> int:
+        """Allocate a fresh user transaction ID."""
+        self._txid_counter += 1
+        return self._txid_counter
+
+    def api(self, core_id: int, tid: Optional[int] = None) -> ThreadAPI:
+        """Create a thread API bound to ``core_id``."""
+        return ThreadAPI(self, core_id, self.tid_for(core_id) if tid is None else tid)
+
+    @staticmethod
+    def tid_for(core_id: int) -> int:
+        """Default thread ID for a core."""
+        return core_id
+
+    # ------------------------------------------------------------------
+    # Setup (untimed) access, used to build initial workload state
+    # ------------------------------------------------------------------
+    def setup_write(self, addr: int, data: bytes) -> None:
+        """Functional write bypassing caches and timing (pre-run setup)."""
+        self.machine.nvram.poke(addr, data)
+
+    def setup_read(self, addr: int, size: int) -> bytes:
+        """Functional read bypassing caches and timing."""
+        return self.machine.nvram.peek(addr, size)

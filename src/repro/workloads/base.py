@@ -1,0 +1,119 @@
+"""Workload protocol and accessors.
+
+A workload builds its initial persistent state in :meth:`Workload.setup`
+(untimed, via :class:`SetupAccessor`) and then runs timed transactions
+through per-thread generators (:meth:`Workload.thread_body`), which the
+harness interleaves across cores in core-clock order.
+
+Structure code is written once against the *accessor* protocol —
+``read(addr, size)``, ``write(addr, data)``, ``compute(n)`` and
+``transaction()`` — and works both in the untimed setup phase and in the
+timed run phase (where the accessor is a
+:class:`~repro.txn.runtime.ThreadAPI`).
+"""
+
+from __future__ import annotations
+
+import abc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..txn.runtime import PersistentMemory, ThreadAPI
+from ..utils import int_to_word, word_to_int
+
+
+class SetupAccessor:
+    """Untimed accessor used while building initial workload state."""
+
+    def __init__(self, pm: PersistentMemory) -> None:
+        self._pm = pm
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Functional read (no timing, no cache state)."""
+        return self._pm.setup_read(addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Functional write directly into NVRAM."""
+        self._pm.setup_write(addr, data)
+
+    def compute(self, count: int) -> None:
+        """No-op during setup."""
+
+    def alloc(self, size: int) -> int:
+        """Allocate from the shared heap (setup has no txn constraints)."""
+        return self._pm.heap.alloc(size)
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block to the shared heap immediately."""
+        self._pm.heap.free(addr, size)
+
+    @contextmanager
+    def transaction(self):
+        """No-op transaction context during setup."""
+        yield self
+
+
+@dataclass
+class WorkloadResult:
+    """What a finished run exposes to tests (beyond machine stats)."""
+
+    transactions: int
+    operations: dict
+
+
+class Workload(abc.ABC):
+    """One benchmark: persistent state plus a per-thread transaction mix."""
+
+    #: paper name (e.g. ``"hash"``); subclasses override.
+    name: str = "abstract"
+    #: memory footprint reported in Table III (informational).
+    paper_footprint: str = "-"
+    #: one-line description for Table III.
+    description: str = ""
+
+    def __init__(self, seed: int = 42, value_kind: str = "int") -> None:
+        if value_kind not in ("int", "string"):
+            raise ValueError(f"value_kind must be 'int' or 'string', not {value_kind!r}")
+        self.seed = seed
+        self.value_kind = value_kind
+
+    @property
+    def value_size(self) -> int:
+        """Element payload size: one word for ints, multi-line for strings."""
+        return 8 if self.value_kind == "int" else 96
+
+    @abc.abstractmethod
+    def setup(self, pm: PersistentMemory) -> None:
+        """Allocate and initialise persistent state (untimed)."""
+
+    def attach(self, pm: PersistentMemory) -> None:
+        """Re-bind to a fresh machine whose NVRAM image was restored from
+        a prepared snapshot (see :func:`repro.harness.runner.prepare_workload`)."""
+        self._heap = pm.heap
+
+    @abc.abstractmethod
+    def thread_body(
+        self, api: ThreadAPI, tid: int, num_txns: int
+    ) -> Iterator[None]:
+        """Generator running ``num_txns`` transactions, yielding after each."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_word(acc, addr: int) -> int:
+        """Read one little-endian word as an unsigned int."""
+        return word_to_int(acc.read(addr, 8))
+
+    @staticmethod
+    def write_word(acc, addr: int, value: int) -> None:
+        """Write one unsigned int as a little-endian word."""
+        acc.write(addr, int_to_word(value))
+
+    def make_value(self, rng, tag: int) -> bytes:
+        """Build an element payload (int word or multi-line string)."""
+        if self.value_kind == "int":
+            return int_to_word(tag & ((1 << 64) - 1))
+        body = (tag & 0xFF).to_bytes(1, "little") * self.value_size
+        return body

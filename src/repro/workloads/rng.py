@@ -1,0 +1,45 @@
+"""Deterministic random streams for workloads.
+
+Every workload thread gets its own :class:`random.Random` seeded from the
+workload seed and thread ID, so runs are reproducible and threads are
+decorrelated.  Zipfian sampling (used by the YCSB-like kernel) is
+implemented with the classic rejection-free inverse-CDF table.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def thread_rng(seed: int, tid: int) -> random.Random:
+    """Deterministic per-thread RNG."""
+    return random.Random((seed * 0x9E3779B1 + tid * 0x85EBCA77) & 0xFFFFFFFF)
+
+
+class ZipfGenerator:
+    """Zipfian integer sampler over ``[0, n)`` with exponent ``theta``."""
+
+    def __init__(self, n: int, theta: float = 0.99, rng: random.Random = None) -> None:
+        if n <= 0:
+            raise ValueError("population must be positive")
+        self._rng = rng or random.Random(0)
+        self._n = n
+        weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+
+    def next(self) -> int:
+        """Draw one sample (0 is the most popular)."""
+        point = self._rng.random()
+        lo, hi = 0, self._n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,72 @@
+"""WHISPER-like persistent-memory application kernels (Figure 10).
+
+The WHISPER suite (Nalli et al., ASPLOS 2017) is not redistributable
+here; these synthetic kernels reproduce the characteristics that drive
+the paper's Figure 10 trends — transaction size, write intensity, and
+access skew — per workload:
+
+========== ==========================================================
+ctree      crit-bit-style binary search tree insert/remove
+hashmap    open-addressing hash map insert/remove
+echo       scalable KV store: append a record, update its index
+exim       mail server: spool create/append/delete churn
+nfs        file server: block writes + inode/dir metadata
+memcached  cache: get/set over a hash with LRU list splices
+redis      KV store with an append-only-file style persist log
+tpcc       new-order transactions: multi-record, write-intensive
+vacation   travel reservations: read-heavy with few writes
+ycsb       zipfian 50/50 read/update key-value mix
+========== ==========================================================
+"""
+
+from .ctree import CTreeKernel
+from .echo import EchoKernel
+from .exim_w import EximKernel
+from .hashmap import HashmapKernel
+from .memcached_w import MemcachedKernel
+from .nfs_w import NFSKernel
+from .redis_w import RedisKernel
+from .tpcc import TPCCKernel
+from .vacation import VacationKernel
+from .ycsb import YCSBKernel
+
+WHISPER_KERNELS = {
+    "ctree": CTreeKernel,
+    "hashmap": HashmapKernel,
+    "echo": EchoKernel,
+    "exim": EximKernel,
+    "memcached": MemcachedKernel,
+    "nfs": NFSKernel,
+    "redis": RedisKernel,
+    "tpcc": TPCCKernel,
+    "vacation": VacationKernel,
+    "ycsb": YCSBKernel,
+}
+"""Registry of WHISPER-like kernels by workload name."""
+
+
+def make_whisper_kernel(name: str, **kwargs):
+    """Instantiate a WHISPER-like kernel by name."""
+    try:
+        factory = WHISPER_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown WHISPER kernel {name!r}; choose from {sorted(WHISPER_KERNELS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "CTreeKernel",
+    "HashmapKernel",
+    "EchoKernel",
+    "EximKernel",
+    "NFSKernel",
+    "MemcachedKernel",
+    "RedisKernel",
+    "TPCCKernel",
+    "VacationKernel",
+    "YCSBKernel",
+    "WHISPER_KERNELS",
+    "make_whisper_kernel",
+]

@@ -1,0 +1,70 @@
+"""WHISPER "memcached" kernel: cache gets/sets with LRU maintenance.
+
+A get is read-mostly but still writes — the LRU list splice persists
+three pointers; a set updates the value and splices too.  90% gets /
+10% sets over a zipfian key popularity, memcached's classic profile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...txn.runtime import PersistentMemory, ThreadAPI
+from ..base import SetupAccessor, Workload
+from ..rng import ZipfGenerator, thread_rng
+from .base import MAX_PARTITIONS, LRUList, ProbingTable
+
+GET_RATIO = 0.9
+HASH_COMPUTE = 12
+
+
+class MemcachedKernel(Workload):
+    """Get/set cache transactions with persistent LRU."""
+
+    name = "memcached"
+    description = "Cache get/set with LRU list splices (WHISPER memcached)."
+
+    def __init__(
+        self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048
+    ) -> None:
+        super().__init__(seed, value_kind)
+        self.keys_per_partition = keys_per_partition
+        self._table = ProbingTable(
+            self, capacity=keys_per_partition * 2, value_size=self.value_size
+        )
+        self._lru = LRUList(self, nodes=keys_per_partition)
+
+    def setup(self, pm: PersistentMemory) -> None:
+        """Fill the cache and initialise the LRU chains."""
+        acc = SetupAccessor(pm)
+        self._table.allocate(pm.heap)
+        self._lru.allocate(pm.heap)
+        self._table.clear(acc)
+        rng = thread_rng(self.seed, 0x3E3)
+        for part in range(MAX_PARTITIONS):
+            self._lru.init_chain(acc, part)
+            for key in range(1, self.keys_per_partition + 1):
+                self._table.put(acc, part, key, self.make_value(rng, key))
+
+    def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
+        """One get/set transaction with an LRU splice per iteration."""
+        part = tid % MAX_PARTITIONS
+        rng = thread_rng(self.seed, tid)
+        zipf = ZipfGenerator(self.keys_per_partition, rng=rng)
+        for txn in range(num_txns):
+            index = zipf.next()
+            key = index + 1
+            is_get = rng.random() < GET_RATIO
+            with api.transaction():
+                api.compute(HASH_COMPUTE)
+                if is_get:
+                    self._table.get(api, part, key)
+                else:
+                    self._table.put(api, part, key, self.make_value(rng, txn))
+                self._lru.move_to_front(api, part, index)
+            yield
+
+    @property
+    def lru(self) -> LRUList:
+        """Underlying LRU list (for tests)."""
+        return self._lru

@@ -1,0 +1,56 @@
+"""Shared fixtures: small, fast machine configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, PersistentMemory, Policy, SystemConfig
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    LoggingConfig,
+    MemCtrlConfig,
+    NVDimmConfig,
+)
+
+
+def tiny_system(**overrides) -> SystemConfig:
+    """A miniature machine: 2 cores, 4 KB L1, 32 KB LLC, 4 MB NVRAM."""
+    config = SystemConfig(
+        num_cores=2,
+        core=CoreConfig(),
+        l1=CacheConfig(size_bytes=4 * 1024, ways=4, line_size=64, latency_ns=1.6),
+        llc=CacheConfig(size_bytes=32 * 1024, ways=8, line_size=64, latency_ns=4.4),
+        memctrl=MemCtrlConfig(),
+        nvram=NVDimmConfig(size_bytes=4 * 1024 * 1024),
+        logging=LoggingConfig(log_entries=128),
+    )
+    return config.scaled(**overrides) if overrides else config
+
+
+@pytest.fixture
+def system() -> SystemConfig:
+    """Tiny validated system configuration."""
+    return tiny_system()
+
+
+@pytest.fixture
+def machine(system) -> Machine:
+    """Tiny machine under the full fwb design."""
+    return Machine(system, Policy.FWB)
+
+
+@pytest.fixture
+def pm(machine) -> PersistentMemory:
+    """Persistent-memory facade over the tiny fwb machine."""
+    return PersistentMemory(machine)
+
+
+def make_pm(policy: Policy, **overrides) -> PersistentMemory:
+    """Fresh machine + facade under ``policy`` (helper for parametrised tests)."""
+    return PersistentMemory(Machine(tiny_system(**overrides), policy))
+
+
+def word(value: int) -> bytes:
+    """Little-endian machine word."""
+    return int(value).to_bytes(8, "little")

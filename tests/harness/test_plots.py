@@ -1,0 +1,75 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.plots import FULL, bar, figure_chart, grouped_bars, series_chart
+
+
+class TestBar:
+    def test_full_scale(self):
+        assert bar(10, 10, width=4) == FULL * 4
+
+    def test_half_scale(self):
+        assert bar(5, 10, width=4) == FULL * 2
+
+    def test_zero(self):
+        assert bar(0, 10) == ""
+
+    def test_overflow_clamped(self):
+        assert bar(100, 10, width=4) == FULL * 4
+
+    def test_fractional_eighths(self):
+        rendered = bar(1.5, 4, width=4)  # 1.5 cells
+        assert rendered.startswith(FULL)
+        assert len(rendered) == 2
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        chart = grouped_bars(
+            "Demo",
+            {"hash-1t": {"non-pers": 1.4, "fwb": 1.1}},
+            baseline="non-pers",
+        )
+        assert "Demo" in chart
+        assert "hash-1t" in chart
+        assert "1.40 *" in chart
+        assert "fwb" in chart
+
+    def test_infinite_values_render(self):
+        chart = grouped_bars("Demo", {"g": {"a": float("inf"), "b": 1.0}})
+        assert "inf" in chart
+
+    def test_scale_ignores_infinity(self):
+        chart = grouped_bars("Demo", {"g": {"a": float("inf"), "b": 2.0}})
+        # b at max finite scale gets a full-width bar.
+        assert FULL * 40 in chart
+
+
+class TestSeriesChart:
+    def test_points_rendered(self):
+        chart = series_chart("Sizes", [(8, 1.1), (16, 1.2)], x_label="entries")
+        assert " 8 " in chart
+        assert "1.20" in chart
+        assert "entries" in chart
+
+
+class TestFigureChart:
+    def test_from_experiment_result(self):
+        result = ExperimentResult(
+            "Figure X",
+            ["benchmark", "non-pers", "fwb"],
+            [["hash-1t", 1.4, 1.1], ["sps-1t", 1.2, 1.05]],
+        )
+        chart = figure_chart(result)
+        assert "Figure X" in chart
+        assert "hash-1t" in chart and "sps-1t" in chart
+        assert chart.count("|") >= 8
+
+    def test_skips_non_numeric_cells(self):
+        result = ExperimentResult(
+            "T", ["k", "v", "note"], [["row", 1.0, "text"]]
+        )
+        chart = figure_chart(result)
+        assert "text" not in chart

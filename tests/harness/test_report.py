@@ -1,0 +1,53 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.harness.report import bench_label, format_table, geomean, reduction, speedup
+
+
+class TestFormatTable:
+    def test_contains_title_headers_rows(self):
+        text = format_table("My Table", ["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "My Table" in text
+        assert "a" in text and "b" in text
+        assert "2.50" in text and "3.00" in text
+
+    def test_column_alignment(self):
+        text = format_table("T", ["col"], [["looooooong"], ["s"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) <= len(lines[-2])
+
+    def test_custom_float_format(self):
+        text = format_table("T", ["v"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in text
+
+
+class TestRatios:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_speedup_zero_baseline(self):
+        assert speedup(2.0, 0.0) == 0.0
+
+    def test_reduction(self):
+        assert reduction(4.0, 2.0) == 2.0
+
+    def test_reduction_zero_value(self):
+        assert reduction(4.0, 0.0) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_geomean_nonpositive(self):
+        assert geomean([1.0, 0.0]) == 0.0
+
+
+class TestLabels:
+    def test_with_threads(self):
+        assert bench_label("hash", 2) == "hash-2t"
+
+    def test_without_threads(self):
+        assert bench_label("ycsb", None) == "ycsb"

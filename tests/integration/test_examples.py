@@ -1,0 +1,77 @@
+"""Smoke tests: every example script runs to completion.
+
+The heavier examples are exercised with reduced work by monkeypatching
+their knobs where needed; quickstart and crash_recovery run as-is (they
+are fast).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=None, monkeypatch=None):
+    if monkeypatch is not None:
+        monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    return runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    run_example("quickstart.py", monkeypatch=monkeypatch)
+    out = capsys.readouterr().out
+    assert "crash consistency holds." in out
+    assert "transactions committed : 50" in out
+
+
+def test_crash_recovery_runs(capsys, monkeypatch):
+    module = run_example.__globals__  # keep flake quiet about unused
+    _ = module
+    # Patch the trial count down for speed.
+    source = (EXAMPLES / "crash_recovery.py").read_text()
+    assert "trials = 40" in source
+    namespace = {}
+    exec(compile(source.replace("trials = 40", "trials = 6"),
+                 str(EXAMPLES / "crash_recovery.py"), "exec"), namespace)
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "fwb" in out and "consistent" in out
+    assert "CORRUPTED" in out  # unsafe-base must corrupt somewhere
+
+
+def test_policy_comparison_runs(capsys, monkeypatch):
+    source = (EXAMPLES / "policy_comparison.py").read_text()
+    namespace = {}
+    monkeypatch.setattr(sys, "argv", ["policy_comparison.py", "hash", "1"])
+    exec(compile(source.replace("txns_per_thread=300", "txns_per_thread=40"),
+                 str(EXAMPLES / "policy_comparison.py"), "exec"), namespace)
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "fwb over best software-clwb" in out
+    for policy in ("non-pers", "unsafe-base", "fwb"):
+        assert policy in out
+
+
+def test_durability_lag_runs(capsys, monkeypatch):
+    source = (EXAMPLES / "durability_lag.py").read_text()
+    namespace = {}
+    exec(compile(source.replace("range(200)", "range(40)"),
+                 str(EXAMPLES / "durability_lag.py"), "exec"), namespace)
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "commit->durable" in out
+    assert "fwb" in out and "undo-clwb" in out
+
+
+@pytest.mark.slow
+def test_log_buffer_tuning_runs(capsys, monkeypatch):
+    source = (EXAMPLES / "log_buffer_tuning.py").read_text()
+    namespace = {}
+    exec(compile(source.replace("txns_per_thread=250", "txns_per_thread=40"),
+                 str(EXAMPLES / "log_buffer_tuning.py"), "exec"), namespace)
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "persistence bound" in out

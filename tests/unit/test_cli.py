@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.benchmark == "hash"
+        assert args.threads == 1
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out and "Table III" in out
+
+    def test_lifetime(self, capsys):
+        assert main(["lifetime"]) == 0
+        out = capsys.readouterr().out
+        assert "15.2 days" in out
+
+    def test_figure_11b(self, capsys):
+        assert main(["figure", "11b"]) == 0
+        out = capsys.readouterr().out
+        assert "FWB frequency" in out
+
+    def test_figure_quick_sweep(self, capsys):
+        assert main(["figure", "6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "unsafe-base" in out
+        assert "fwb gain" in out

@@ -1,0 +1,141 @@
+"""Unit tests for repro.sim.config."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    EnergyConfig,
+    LoggingConfig,
+    MemCtrlConfig,
+    NVDimmConfig,
+    SystemConfig,
+)
+
+
+class TestCoreConfig:
+    def test_defaults_validate(self):
+        CoreConfig().validate()
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(clock_ghz=0).validate()
+
+    def test_rejects_exposure_above_one(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(load_miss_exposed=1.5).validate()
+
+
+class TestCacheConfig:
+    def test_table_ii_l1_geometry(self):
+        cache = CacheConfig()
+        assert cache.num_lines == 512
+        assert cache.num_sets == 64
+
+    def test_table_ii_llc_geometry(self):
+        llc = CacheConfig(size_bytes=8 * 1024 * 1024, ways=16, latency_ns=4.4)
+        assert llc.num_lines == 131072
+        assert llc.num_sets == 8192
+
+    def test_latency_cycles(self):
+        assert CacheConfig().latency_cycles(2.5) == 4
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(line_size=48).validate()
+
+    def test_rejects_uneven_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4096, ways=3).validate()
+
+
+class TestNVDimmConfig:
+    def test_defaults_validate(self):
+        NVDimmConfig().validate()
+
+    def test_rejects_odd_banks(self):
+        with pytest.raises(ConfigError):
+            NVDimmConfig(num_banks=6).validate()
+
+    def test_rejects_interleave_beyond_row(self):
+        with pytest.raises(ConfigError):
+            NVDimmConfig(interleave_bytes=4096, row_bytes=2048).validate()
+
+    def test_rejects_zero_row_buffers(self):
+        with pytest.raises(ConfigError):
+            NVDimmConfig(row_buffers_per_bank=0).validate()
+
+
+class TestLoggingConfig:
+    def test_paper_log_size(self):
+        logging = LoggingConfig()
+        assert logging.log_bytes == 4 * 1024 * 1024  # 64K x 64B = 4 MB
+
+    def test_rejects_odd_entry_size(self):
+        with pytest.raises(ConfigError):
+            LoggingConfig(log_entry_size=48).validate()
+
+    def test_rejects_negative_buffer(self):
+        with pytest.raises(ConfigError):
+            LoggingConfig(log_buffer_entries=-1).validate()
+
+    def test_zero_buffer_is_legal(self):
+        LoggingConfig(log_buffer_entries=0).validate()
+
+
+class TestSystemConfig:
+    def test_defaults_validate(self):
+        SystemConfig().validate()
+
+    def test_line_size_must_match(self):
+        config = SystemConfig(l1=CacheConfig(line_size=32, size_bytes=4096, ways=4))
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_log_must_fit_nvram(self):
+        config = SystemConfig(
+            nvram=NVDimmConfig(size_bytes=2 * 1024 * 1024),
+            logging=LoggingConfig(log_entries=65536),
+        )
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_store_traversal_matches_paper_bound(self):
+        # 4-cycle L1 + 11-cycle LLC = 15, the paper's <= 15-entry bound.
+        config = SystemConfig()
+        assert config.min_store_traversal_cycles() == 15
+        assert config.max_persistent_log_buffer_entries() == 15
+
+    def test_scaled_replaces_fields(self):
+        config = SystemConfig().scaled(num_cores=8)
+        assert config.num_cores == 8
+        assert SystemConfig().num_cores == 4
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_cores=0).validate()
+
+
+class TestEnergyConfig:
+    def test_table_ii_values(self):
+        energy = EnergyConfig()
+        assert energy.nvram_row_buffer_read_pj_per_bit == 0.93
+        assert energy.nvram_row_buffer_write_pj_per_bit == 1.02
+        assert energy.nvram_array_read_pj_per_bit == 2.47
+        assert energy.nvram_array_write_pj_per_bit == 16.82
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(nvram_array_write_pj_per_bit=-1).validate()
+
+
+class TestMemCtrlConfig:
+    def test_table_ii_queues(self):
+        config = MemCtrlConfig()
+        assert config.read_queue_entries == 64
+        assert config.write_queue_entries == 64
+
+    def test_rejects_zero_queue(self):
+        with pytest.raises(ConfigError):
+            MemCtrlConfig(write_queue_entries=0).validate()

@@ -1,0 +1,85 @@
+"""Unit tests for repro.txn.heap."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.txn.heap import PersistentHeap
+
+
+@pytest.fixture
+def heap():
+    return PersistentHeap(base=0x1000, limit=0x2000)
+
+
+class TestAlloc:
+    def test_first_alloc_at_base(self, heap):
+        assert heap.alloc(8) == 0x1000
+
+    def test_allocations_disjoint(self, heap):
+        a = heap.alloc(24)
+        b = heap.alloc(24)
+        assert b >= a + 24
+
+    def test_alignment(self, heap):
+        heap.alloc(3)
+        assert heap.alloc(8) % 8 == 0
+
+    def test_zero_size_rejected(self, heap):
+        with pytest.raises(AddressError):
+            heap.alloc(0)
+
+    def test_exhaustion(self, heap):
+        heap.alloc(0x0F00)
+        with pytest.raises(AddressError):
+            heap.alloc(0x200)
+
+    def test_accounting(self, heap):
+        heap.alloc(16)
+        assert heap.allocated_bytes == 16
+        assert heap.used_bytes == 16
+        assert heap.remaining_bytes == 0x1000 - 16
+
+
+class TestFree:
+    def test_free_then_realloc_reuses(self, heap):
+        addr = heap.alloc(32)
+        heap.free(addr, 32)
+        assert heap.alloc(32) == addr
+
+    def test_free_lists_are_size_classed(self, heap):
+        addr = heap.alloc(32)
+        heap.free(addr, 32)
+        other = heap.alloc(64)
+        assert other != addr
+
+    def test_free_outside_heap_rejected(self, heap):
+        with pytest.raises(AddressError):
+            heap.free(0x100, 8)
+
+    def test_allocated_bytes_decrease(self, heap):
+        addr = heap.alloc(16)
+        heap.free(addr, 16)
+        assert heap.allocated_bytes == 0
+
+
+class TestSnapshot:
+    def test_snapshot_restore_roundtrip(self, heap):
+        a = heap.alloc(16)
+        heap.free(a, 16)
+        state = heap.snapshot()
+        heap.alloc(16)
+        heap.alloc(64)
+        heap.restore(state)
+        assert heap.alloc(16) == a  # free list restored
+
+    def test_snapshot_is_deep(self, heap):
+        addr = heap.alloc(16)
+        heap.free(addr, 16)
+        state = heap.snapshot()
+        heap.alloc(16)  # consumes the free list of the live heap
+        _cursor, free = state
+        assert free[16] == [addr]  # snapshot unaffected
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(AddressError):
+            PersistentHeap(0x1000, 0x1000)

@@ -1,0 +1,54 @@
+"""Unit tests for repro.core.lifetime (Section III-F arithmetic)."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.core.lifetime import (
+    log_pass_period_seconds,
+    log_region_lifetime_days,
+    wear_report,
+)
+from repro.sim.config import LoggingConfig
+from repro.sim.stats import MachineStats
+
+
+class TestPaperArithmetic:
+    def test_pass_period_matches_paper(self):
+        # 64K entries x 200 ns = 13.1 ms per pass.
+        period = log_pass_period_seconds(SystemConfig())
+        assert period == pytest.approx(65536 * 200e-9)
+
+    def test_fifteen_days_example(self):
+        days = log_region_lifetime_days(SystemConfig())
+        assert 14.0 < days < 16.0  # the paper says "15 days"
+
+    def test_lifetime_scales_with_log_size(self):
+        small = SystemConfig(logging=LoggingConfig(log_entries=1024))
+        assert log_region_lifetime_days(small) == pytest.approx(
+            log_region_lifetime_days(SystemConfig()) / 64
+        )
+
+    def test_lifetime_scales_with_endurance(self):
+        config = SystemConfig()
+        assert log_region_lifetime_days(config, endurance_writes=2e8) == pytest.approx(
+            2 * log_region_lifetime_days(config)
+        )
+
+
+class TestWearReport:
+    def test_decomposition(self):
+        stats = MachineStats(nvram_write_bytes=1000, log_bytes=600)
+        report = wear_report(stats)
+        assert report.log_bytes == 600
+        assert report.data_bytes == 400
+        assert report.amplification == pytest.approx(2.5)
+        assert report.log_share == pytest.approx(0.6)
+
+    def test_no_data_writes_is_infinite_amplification(self):
+        stats = MachineStats(nvram_write_bytes=500, log_bytes=500)
+        assert wear_report(stats).amplification == float("inf")
+
+    def test_idle_run(self):
+        report = wear_report(MachineStats())
+        assert report.total_bytes == 0
+        assert report.log_share == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for repro.sim.memctrl."""
+
+import pytest
+
+from repro.sim.config import MemCtrlConfig, NVDimmConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.config import EnergyConfig
+from repro.sim.memctrl import MemoryController
+from repro.sim.nvram import NVRAM
+from repro.sim.stats import MachineStats
+
+
+def make_mc(**nvram_overrides):
+    stats = MachineStats()
+    nvram_config = NVDimmConfig(size_bytes=1024 * 1024, **nvram_overrides)
+    nvram = NVRAM(nvram_config)
+    energy = EnergyModel(EnergyConfig(), stats)
+    mc = MemoryController(MemCtrlConfig(), nvram_config, nvram, energy, stats, 2.5)
+    return mc, nvram, stats
+
+
+class TestReads:
+    def test_read_returns_data(self):
+        mc, nvram, _ = make_mc()
+        nvram.poke(64, b"payload!")
+        finish, data = mc.read(64, 8, 0.0)
+        assert data == b"payload!"
+        assert finish > 0
+
+    def test_first_read_is_row_conflict(self):
+        mc, _, stats = make_mc()
+        mc.read(0, 64, 0.0)
+        assert stats.nvram_row_conflicts == 1
+
+    def test_repeat_read_is_row_hit(self):
+        mc, _, stats = make_mc()
+        mc.read(0, 64, 0.0)
+        mc.read(0, 64, 1000.0)
+        assert stats.nvram_row_hits == 1
+
+    def test_row_hit_is_faster(self):
+        mc, _, _ = make_mc()
+        finish_conflict, _ = mc.read(0, 64, 0.0)
+        finish_hit, _ = mc.read(0, 64, 1000.0)
+        assert finish_hit - 1000.0 < finish_conflict - 0.0
+
+    def test_same_bank_reads_serialize(self):
+        mc, nvram, _ = make_mc()
+        addr = 0
+        f1, _ = mc.read(addr, 64, 0.0)
+        f2, _ = mc.read(addr + 64 * 8, 64, 0.0)  # same bank, next stripe
+        assert f2 > f1
+
+    def test_different_banks_overlap(self):
+        mc, _, _ = make_mc(bus_cycles_per_transfer=1.0)
+        f1, _ = mc.read(0, 64, 0.0)
+        f2, _ = mc.read(64, 64, 0.0)  # adjacent line = different bank
+        # Bank-parallel: the second read does not wait for the first.
+        assert f2 - f1 < 50
+
+
+class TestWrites:
+    def test_write_applies_functionally(self):
+        mc, nvram, _ = make_mc()
+        mc.write(128, b"ABCDEFGH", 0.0)
+        assert nvram.peek(128, 8) == b"ABCDEFGH"
+
+    def test_write_is_posted(self):
+        mc, _, _ = make_mc()
+        ticket = mc.write(0, bytes(64), 0.0)
+        assert ticket.stall == 0.0
+        assert ticket.completion > 0
+
+    def test_min_completion_clamps(self):
+        mc, _, _ = make_mc()
+        ticket = mc.write(0, bytes(64), 0.0, min_completion=99999.0)
+        assert ticket.completion == 99999.0
+
+    def test_write_queue_backpressure(self):
+        mc, _, stats = make_mc()
+        # Saturate the 64-entry queue with same-bank writes at time 0.
+        for i in range(70):
+            mc.write(i * 64 * 8, bytes(64), 0.0)
+        assert stats.write_queue_stall_cycles > 0
+
+    def test_acceptance_before_completion(self):
+        mc, _, _ = make_mc()
+        ticket = mc.write(0, bytes(64), 0.0)
+        assert ticket.accepted <= ticket.completion
+
+    def test_infinite_bandwidth_mode(self):
+        mc, _, stats = make_mc(infinite_write_bandwidth=True)
+        for i in range(200):
+            ticket = mc.write(i * 64, bytes(64), 0.0)
+            assert ticket.stall == 0.0
+        assert stats.write_queue_stall_cycles == 0.0
+
+
+class TestReadPriority:
+    def test_read_not_blocked_by_write_backlog(self):
+        mc, _, _ = make_mc(bus_cycles_per_transfer=0.0 + 1.0)
+        # Pile writes onto bank 0.
+        for i in range(20):
+            mc.write(i * 64 * 8, bytes(64), 0.0)
+        write_backlog = mc.nvram.bank_write_free[0]
+        finish, _ = mc.read(64 * 8 * 100, 64, 0.0)  # bank 0 read
+        # Read waits at most ~one in-service write, not the whole backlog.
+        assert finish < write_backlog
+
+    def test_write_after_read_waits(self):
+        mc, _, _ = make_mc()
+        read_finish, _ = mc.read(0, 64, 0.0)
+        ticket = mc.write(64 * 8, bytes(64), 0.0)  # same bank 0
+        assert ticket.completion > read_finish
+
+
+class TestBus:
+    def test_bus_serializes_transfers(self):
+        mc, _, _ = make_mc(bus_cycles_per_transfer=12.0)
+        tickets = [mc.write(i * 64, bytes(64), 0.0) for i in range(4)]
+        accepts = [t.accepted for t in tickets]
+        for earlier, later in zip(accepts, accepts[1:]):
+            assert later >= earlier + 12.0
+
+
+class TestRetire:
+    def test_retire_frees_slots(self):
+        mc, _, _ = make_mc()
+        ticket = mc.write(0, bytes(64), 0.0)
+        assert mc.write_queue_occupancy == 1
+        mc.retire(ticket.completion + 1)
+        assert mc.write_queue_occupancy == 0

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.nvlog (circular log placement)."""
+
+import pytest
+
+from repro.core.logrecord import LogRecord, RecordKind
+from repro.core.nvlog import CircularLog
+from repro.errors import LogError
+
+
+def data(addr=0x1000):
+    return LogRecord(RecordKind.DATA, 1, 0, addr, undo=b"A" * 8, redo=b"B" * 8)
+
+
+@pytest.fixture
+def log():
+    return CircularLog(base=0x10000, num_entries=4, entry_size=64)
+
+
+class TestPlacement:
+    def test_sequential_addresses(self, log):
+        addrs = [log.place(data()).addr for _ in range(4)]
+        assert addrs == [0x10000, 0x10040, 0x10080, 0x100C0]
+
+    def test_wrap_returns_to_base(self, log):
+        for _ in range(4):
+            log.place(data())
+        assert log.place(data()).addr == 0x10000
+        assert log.wrapped
+
+    def test_first_pass_parity_is_one(self, log):
+        placed = log.place(data())
+        assert LogRecord.decode(placed.payload).torn == 1
+
+    def test_parity_flips_on_wrap(self, log):
+        for _ in range(4):
+            log.place(data())
+        placed = log.place(data())
+        assert LogRecord.decode(placed.payload).torn == 0
+
+    def test_parity_flips_again_on_second_wrap(self, log):
+        for _ in range(8):
+            log.place(data())
+        placed = log.place(data())
+        assert LogRecord.decode(placed.payload).torn == 1
+
+    def test_appended_counter(self, log):
+        for _ in range(6):
+            log.place(data())
+        assert log.appended == 6
+
+
+class TestWrapProtection:
+    def test_no_displacement_before_wrap(self, log):
+        for _ in range(4):
+            assert log.place(data()).displaced_line is None
+
+    def test_displacement_reports_data_line(self, log):
+        for i in range(4):
+            log.place(data(addr=0x2000 + i * 64))
+        placed = log.place(data(addr=0x9000))
+        assert placed.displaced_line == 0x2000
+
+    def test_displacement_line_aligned(self, log):
+        log.place(data(addr=0x2013))
+        for _ in range(3):
+            log.place(LogRecord(RecordKind.COMMIT, 1, 0))
+        placed = log.place(data())
+        assert placed.displaced_line == 0x2000
+
+    def test_begin_commit_displace_nothing_meaningful(self, log):
+        for _ in range(4):
+            log.place(LogRecord(RecordKind.BEGIN, 1, 0))
+        placed = log.place(data())
+        assert placed.displaced_line is None
+        assert placed.displaced_kind == RecordKind.BEGIN
+
+
+class TestGeometry:
+    def test_entry_addr_bounds(self, log):
+        with pytest.raises(LogError):
+            log.entry_addr(4)
+        with pytest.raises(LogError):
+            log.entry_addr(-1)
+
+    def test_size_and_end(self, log):
+        assert log.size_bytes == 256
+        assert log.end == 0x10100
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(LogError):
+            CircularLog(0, 0, 64)
+
+
+class TestTruncation:
+    def test_truncate_advances_head(self, log):
+        log.place(data())
+        log.place(data())
+        log.truncate(1)
+        assert log.head == 1
+        assert log.live_entries == 1
+
+    def test_truncate_negative_rejected(self, log):
+        with pytest.raises(LogError):
+            log.truncate(-1)
+
+    def test_live_entries_after_wrap(self, log):
+        for _ in range(5):
+            log.place(data())
+        assert log.live_entries == 4

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.policy."""
+
+import pytest
+
+from repro.core.policy import MICROBENCH_POLICIES, Policy
+
+
+class TestNames:
+    def test_paper_names(self):
+        assert {p.value for p in Policy} == {
+            "non-pers",
+            "unsafe-base",
+            "redo-clwb",
+            "undo-clwb",
+            "hw-rlog",
+            "hw-ulog",
+            "hwl",
+            "fwb",
+        }
+
+    def test_from_name(self):
+        assert Policy.from_name("fwb") is Policy.FWB
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            Policy.from_name("nope")
+
+    def test_paper_order(self):
+        assert MICROBENCH_POLICIES[0] is Policy.NON_PERS
+        assert MICROBENCH_POLICIES[-1] is Policy.FWB
+
+
+class TestStructure:
+    def test_hw_vs_sw_partition(self):
+        for policy in Policy:
+            assert not (policy.uses_hw_logging and policy.uses_sw_logging)
+
+    def test_non_pers_logs_nothing(self):
+        assert not Policy.NON_PERS.logs_undo
+        assert not Policy.NON_PERS.logs_redo
+
+    def test_hwl_and_fwb_log_both_sides(self):
+        for policy in (Policy.HWL, Policy.FWB):
+            assert policy.logs_undo and policy.logs_redo
+
+    def test_single_side_hw(self):
+        assert Policy.HW_RLOG.logs_redo and not Policy.HW_RLOG.logs_undo
+        assert Policy.HW_ULOG.logs_undo and not Policy.HW_ULOG.logs_redo
+
+    def test_clwb_users(self):
+        assert {p for p in Policy if p.uses_clwb_at_commit} == {
+            Policy.REDO_CLWB,
+            Policy.UNDO_CLWB,
+            Policy.HWL,
+        }
+
+    def test_only_fwb_uses_fwb(self):
+        assert [p for p in Policy if p.uses_fwb] == [Policy.FWB]
+
+    def test_persistence_guarantees(self):
+        guaranteed = {p for p in Policy if p.persistence_guaranteed}
+        assert guaranteed == {
+            Policy.REDO_CLWB,
+            Policy.UNDO_CLWB,
+            Policy.HWL,
+            Policy.FWB,
+        }
+
+    def test_unsafe_designs_not_guaranteed(self):
+        for policy in (Policy.UNSAFE_BASE, Policy.HW_RLOG, Policy.HW_ULOG):
+            assert not policy.persistence_guaranteed
+
+    def test_only_redo_defers_stores(self):
+        assert [p for p in Policy if p.defers_in_place_stores] == [Policy.REDO_CLWB]
+
+    def test_wrap_protection_matches_guarantee(self):
+        for policy in Policy:
+            assert policy.protects_log_wrap == policy.persistence_guaranteed

@@ -1,0 +1,174 @@
+"""Unit tests for repro.core.recovery (log replay)."""
+
+import pytest
+
+from repro.core.logrecord import LogRecord, RecordKind
+from repro.core.nvlog import CircularLog
+from repro.core.recovery import RecoveryManager
+from repro.sim.config import NVDimmConfig
+from repro.sim.nvram import NVRAM
+
+
+@pytest.fixture
+def env():
+    nvram = NVRAM(NVDimmConfig(size_bytes=1024 * 1024))
+    log = CircularLog(base=0x80000, num_entries=8, entry_size=64)
+    return nvram, log, RecoveryManager(nvram, log)
+
+
+def append(nvram, log, record):
+    placed = log.place(record)
+    nvram.poke(placed.addr, placed.payload)
+
+
+def begin(nvram, log, txid):
+    append(nvram, log, LogRecord(RecordKind.BEGIN, txid, 0))
+
+
+def data(nvram, log, txid, addr, old, new):
+    append(nvram, log, LogRecord(RecordKind.DATA, txid, 0, addr, old, new))
+
+
+def commit(nvram, log, txid):
+    append(nvram, log, LogRecord(RecordKind.COMMIT, txid, 0))
+
+
+class TestWindowScan:
+    def test_empty_log(self, env):
+        _nvram, _log, manager = env
+        assert manager.scan_window() == []
+
+    def test_prefix_before_wrap(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"A" * 8, b"B" * 8)
+        commit(nvram, log, 1)
+        window = manager.scan_window()
+        assert [r.kind for r in window] == [
+            RecordKind.BEGIN,
+            RecordKind.DATA,
+            RecordKind.COMMIT,
+        ]
+
+    def test_wrapped_window_in_history_order(self, env):
+        nvram, log, manager = env
+        for i in range(10):  # wraps an 8-entry ring
+            data(nvram, log, 1, 0x100 + i * 8, b"A" * 8, bytes([i]) * 8)
+        window = manager.scan_window()
+        assert len(window) == 8
+        values = [r.redo[0] for r in window]
+        assert values == [2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_exact_wrap_boundary(self, env):
+        nvram, log, manager = env
+        for i in range(8):
+            data(nvram, log, 1, 0x100 + i * 8, b"A" * 8, bytes([i]) * 8)
+        window = manager.scan_window()
+        assert [r.redo[0] for r in window] == list(range(8))
+
+
+class TestReplay:
+    def test_committed_transaction_redone(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"O" * 8, b"N" * 8)
+        commit(nvram, log, 1)
+        report = manager.recover()
+        assert report.committed_instances == 1
+        assert report.redo_writes == 1
+        assert nvram.peek(0x100, 8) == b"N" * 8
+
+    def test_uncommitted_transaction_undone(self, env):
+        nvram, log, manager = env
+        nvram.poke(0x100, b"N" * 8)  # the store stole its way to NVRAM
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"O" * 8, b"N" * 8)
+        report = manager.recover()
+        assert report.uncommitted_instances == 1
+        assert report.undo_writes == 1
+        assert nvram.peek(0x100, 8) == b"O" * 8
+
+    def test_multi_write_undo_in_reverse(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"0" * 8, b"1" * 8)
+        data(nvram, log, 1, 0x100, b"1" * 8, b"2" * 8)
+        nvram.poke(0x100, b"2" * 8)
+        manager.recover()
+        assert nvram.peek(0x100, 8) == b"0" * 8
+
+    def test_redo_applied_in_order(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"0" * 8, b"1" * 8)
+        data(nvram, log, 1, 0x100, b"1" * 8, b"2" * 8)
+        commit(nvram, log, 1)
+        manager.recover()
+        assert nvram.peek(0x100, 8) == b"2" * 8
+
+    def test_mixed_transactions(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"A" * 8, b"B" * 8)
+        commit(nvram, log, 1)
+        begin(nvram, log, 2)
+        data(nvram, log, 2, 0x200, b"C" * 8, b"D" * 8)
+        nvram.poke(0x200, b"D" * 8)
+        report = manager.recover()
+        assert report.committed_instances == 1
+        assert report.uncommitted_instances == 1
+        assert nvram.peek(0x100, 8) == b"B" * 8
+        assert nvram.peek(0x200, 8) == b"C" * 8
+
+    def test_physical_txid_reuse(self, env):
+        """Same txid committed twice: each instance handled separately."""
+        nvram, log, manager = env
+        begin(nvram, log, 5)
+        data(nvram, log, 5, 0x100, b"0" * 8, b"1" * 8)
+        commit(nvram, log, 5)
+        begin(nvram, log, 5)
+        data(nvram, log, 5, 0x100, b"1" * 8, b"2" * 8)
+        report = manager.recover()
+        assert report.committed_instances == 1
+        assert report.uncommitted_instances == 1
+        assert nvram.peek(0x100, 8) == b"1" * 8
+
+    def test_orphan_data_with_commit_is_redone(self, env):
+        """A txn whose BEGIN was overwritten but whose COMMIT survived."""
+        nvram, log, manager = env
+        data(nvram, log, 3, 0x100, b"X" * 8, b"Y" * 8)
+        commit(nvram, log, 3)
+        manager.recover()
+        assert nvram.peek(0x100, 8) == b"Y" * 8
+
+    def test_undo_only_records_skip_redo(self, env):
+        nvram, log, manager = env
+        nvram.poke(0x100, b"KEEPKEEP")
+        begin(nvram, log, 1)
+        data(nvram, log, 1, 0x100, b"O" * 8, b"")  # undo-only (sw undo)
+        commit(nvram, log, 1)
+        report = manager.recover()
+        assert report.redo_writes == 0
+        assert nvram.peek(0x100, 8) == b"KEEPKEEP"
+
+    def test_log_reset_after_recovery(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        commit(nvram, log, 1)
+        manager.recover()
+        assert manager.scan_window() == []
+        assert log.tail == 0 and not log.wrapped
+
+    def test_recover_without_reset(self, env):
+        nvram, log, manager = env
+        begin(nvram, log, 1)
+        commit(nvram, log, 1)
+        manager.recover(reset_log=False)
+        assert len(manager.scan_window()) == 2
+
+    def test_report_counts(self, env):
+        nvram, log, manager = env
+        report = manager.recover()
+        assert report.records_scanned == 8
+        assert report.window_entries == 0
+        assert report.total_writes == 0

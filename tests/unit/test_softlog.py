@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.softlog."""
+
+import pytest
+
+from repro.core.logrecord import LogRecord, RecordKind
+from repro.core.nvlog import CircularLog
+from repro.core.registers import SpecialRegisters
+from repro.core.softlog import SoftwareLog
+from repro.errors import TransactionError
+
+
+@pytest.fixture
+def undo_log():
+    log = CircularLog(base=0x1000, num_entries=16, entry_size=64)
+    return SoftwareLog(log, SpecialRegisters(), record_undo=True, record_redo=False)
+
+
+@pytest.fixture
+def redo_log():
+    log = CircularLog(base=0x1000, num_entries=16, entry_size=64)
+    return SoftwareLog(log, SpecialRegisters(), record_undo=False, record_redo=True)
+
+
+class TestLifecycle:
+    def test_begin_places_header(self, undo_log):
+        placed = undo_log.begin(1, 0)
+        record = LogRecord.decode(placed.payload)
+        assert record.kind == RecordKind.BEGIN
+
+    def test_commit_places_and_releases(self, undo_log):
+        undo_log.begin(1, 0)
+        placed = undo_log.commit(1, 0)
+        assert LogRecord.decode(placed.payload).kind == RecordKind.COMMIT
+        # The physical id is reusable now.
+        undo_log.begin(1, 0)
+
+    def test_data_without_begin_rejected(self, undo_log):
+        with pytest.raises(TransactionError):
+            undo_log.data(1, 0, 0x100, b"A" * 8, b"B" * 8)
+
+    def test_sides(self, undo_log, redo_log):
+        assert undo_log.records_undo and not undo_log.records_redo
+        assert redo_log.records_redo and not redo_log.records_undo
+
+
+class TestRecordSides:
+    def test_undo_log_drops_redo_value(self, undo_log):
+        undo_log.begin(1, 0)
+        placed = undo_log.data(1, 0, 0x100, b"O" * 8, b"N" * 8)
+        record = LogRecord.decode(placed.payload)
+        assert record.undo == b"O" * 8
+        assert not record.has_redo
+
+    def test_redo_log_drops_undo_value(self, redo_log):
+        redo_log.begin(1, 0)
+        placed = redo_log.data(1, 0, 0x100, b"O" * 8, b"N" * 8)
+        record = LogRecord.decode(placed.payload)
+        assert record.redo == b"N" * 8
+        assert not record.has_undo
+
+    def test_placements_sequential(self, undo_log):
+        undo_log.begin(1, 0)
+        first = undo_log.data(1, 0, 0x100, b"O" * 8, b"N" * 8)
+        second = undo_log.data(1, 0, 0x108, b"O" * 8, b"N" * 8)
+        assert second.addr == first.addr + 64
+
+    def test_physical_txid_stamped(self, undo_log):
+        undo_log.begin(77, 0)
+        placed = undo_log.data(77, 0, 0x100, b"O" * 8, b"N" * 8)
+        record = LogRecord.decode(placed.payload)
+        assert record.txid < 256

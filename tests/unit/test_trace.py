@@ -1,0 +1,79 @@
+"""Tests for the optional execution tracer."""
+
+import pytest
+
+from repro import Machine, PersistentMemory, Policy
+from repro.sim.config import LoggingConfig
+from repro.sim.trace import TraceEvent, Tracer
+from tests.conftest import tiny_system, word
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", 0)
+        tracer.emit(2.0, "b", 1, extra=5)
+        assert len(tracer) == 2
+        assert [e.kind for e in tracer.events()] == ["a", "b"]
+        assert tracer.events("b")[0].detail == {"extra": 5}
+        assert tracer.counts["a"] == 1
+
+    def test_capacity_bound(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit(float(i), "x", 0)
+        assert len(tracer) == 3
+        assert tracer.counts["x"] == 10  # counts keep the full tally
+
+    def test_events_are_frozen(self):
+        event = TraceEvent(1.0, "a", 0)
+        with pytest.raises(AttributeError):
+            event.kind = "b"
+
+
+class TestMachineIntegration:
+    def _run(self, logging=None):
+        machine = Machine(
+            tiny_system(logging=logging or LoggingConfig(log_entries=128)),
+            Policy.FWB,
+        )
+        machine.tracer = Tracer()
+        pm = PersistentMemory(machine)
+        api = pm.api(0)
+        addr = pm.heap.alloc(8)
+        for value in range(12):
+            with api.transaction():
+                api.write(addr, word(value))
+        return machine
+
+    def test_transactions_traced(self):
+        machine = self._run()
+        tracer = machine.tracer
+        assert tracer.counts["tx_begin"] == 12
+        assert tracer.counts["tx_commit"] == 12
+
+    def test_commit_lags_positive_under_fwb(self):
+        """Steal-but-no-force: durability trails the instant commit."""
+        machine = self._run()
+        lags = machine.tracer.commit_lags()
+        assert len(lags) == 12
+        assert all(lag > 0 for lag in lags)
+
+    def test_wrap_forces_traced_with_tiny_log(self):
+        machine = self._run(logging=LoggingConfig(log_entries=8))
+        assert machine.tracer.counts["log_wrap_force"] >= 1
+
+    def test_crash_traced(self):
+        machine = self._run()
+        machine.crash()
+        assert machine.tracer.counts["crash"] == 1
+
+    def test_summary_renders(self):
+        machine = self._run()
+        summary = machine.tracer.summary()
+        assert "tx_commit" in summary
+        assert "commit durability lag" in summary
+
+    def test_untraced_machine_records_nothing(self):
+        machine = Machine(tiny_system(), Policy.FWB)
+        assert machine.tracer is None  # default: zero overhead
