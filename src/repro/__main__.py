@@ -26,9 +26,26 @@ from . import SystemConfig
 from .core.lifetime import log_pass_period_seconds, log_region_lifetime_days
 from .core.policy import Policy
 from .harness import experiments
+from .harness.cache import SweepCache, cache_enabled
 from .harness.runner import RunConfig, prepare_workload, run_workload
 from .harness.sweep import run_micro_sweep
 from .workloads import MICROBENCHMARKS, make_microbenchmark
+
+
+def _sweep_cache(args):
+    """The CLI's sweep cache, or None when switched off.
+
+    The cache defaults on at the CLI (library callers opt in instead);
+    ``--no-cache`` or ``REPRO_SWEEP_CACHE=0`` disables it.
+    """
+    if getattr(args, "no_cache", False) or not cache_enabled():
+        return None
+    return SweepCache()
+
+
+def _report_cache(cache) -> None:
+    if cache is not None and (cache.hits or cache.misses):
+        print(cache.summary())
 
 
 def _cmd_tables(_args) -> int:
@@ -47,9 +64,14 @@ def _cmd_figure(args) -> int:
     txns = 60 if quick else 250
     threads = (1,) if quick else (1, 8)
     benchmarks = ("hash", "sps") if quick else tuple(MICROBENCHMARKS)
+    cache = _sweep_cache(args)
     if args.id in ("6", "7", "8", "9"):
         sweep = run_micro_sweep(
-            benchmarks=benchmarks, threads=threads, txns_per_thread=txns
+            benchmarks=benchmarks,
+            threads=threads,
+            txns_per_thread=txns,
+            jobs=args.jobs,
+            cache=cache,
         )
         fn = {
             "6": experiments.figure6_throughput,
@@ -74,7 +96,10 @@ def _cmd_figure(args) -> int:
         )
         print(
             experiments.figure10_whisper(
-                kernels=kernels, txns_per_thread=40 if quick else 150
+                kernels=kernels,
+                txns_per_thread=40 if quick else 150,
+                jobs=args.jobs,
+                cache=cache,
             ).rendered
         )
     elif args.id == "11a":
@@ -88,6 +113,7 @@ def _cmd_figure(args) -> int:
         print(experiments.figure11b_fwb_frequency().rendered)
     else:  # pragma: no cover - argparse restricts choices
         return 2
+    _report_cache(cache)
     return 0
 
 
@@ -112,17 +138,22 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    from .harness.sweep import run_micro_sweep
     from .harness.validate import validate
 
+    cache = _sweep_cache(args)
     if args.quick:
         sweep = run_micro_sweep(
-            benchmarks=("hash", "sps"), threads=(1,), txns_per_thread=80
+            benchmarks=("hash", "sps"),
+            threads=(1,),
+            txns_per_thread=80,
+            jobs=args.jobs,
+            cache=cache,
         )
     else:
         sweep = None
-    report = validate(sweep=sweep)
+    report = validate(sweep=sweep, jobs=args.jobs, cache=cache)
     print(report.rendered)
+    _report_cache(cache)
     return 0 if report.passed else 1
 
 
@@ -147,12 +178,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("tables").set_defaults(fn=_cmd_tables)
+
+    def _sweep_flags(cmd) -> None:
+        cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for sweep cells (default: 1, in-process)",
+        )
+        cmd.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="skip the on-disk sweep result cache (.repro_cache)",
+        )
+
     figure = sub.add_parser("figure")
     figure.add_argument("id", choices=["6", "7", "8", "9", "10", "11a", "11b"])
     figure.add_argument("--quick", action="store_true")
     figure.add_argument(
         "--chart", action="store_true", help="render as terminal bar charts"
     )
+    _sweep_flags(figure)
     figure.set_defaults(fn=_cmd_figure)
     compare = sub.add_parser("compare")
     compare.add_argument("--benchmark", default="hash", choices=sorted(MICROBENCHMARKS))
@@ -162,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("lifetime").set_defaults(fn=_cmd_lifetime)
     validate_cmd = sub.add_parser("validate")
     validate_cmd.add_argument("--quick", action="store_true")
+    _sweep_flags(validate_cmd)
     validate_cmd.set_defaults(fn=_cmd_validate)
     return parser
 

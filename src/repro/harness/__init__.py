@@ -8,8 +8,10 @@
   rows and series.
 """
 
+from .cache import SweepCache, cache_enabled
 from .plots import figure_chart, grouped_bars, series_chart
 from .runner import RunConfig, RunOutcome, run_workload
+from .sweep import SweepCell, SweepResult, run_micro_sweep
 from .validate import ValidationReport, validate
 from .experiments import (
     figure6_throughput,
@@ -27,6 +29,11 @@ from .experiments import (
 __all__ = [
     "RunConfig",
     "RunOutcome",
+    "SweepCache",
+    "SweepCell",
+    "SweepResult",
+    "cache_enabled",
+    "run_micro_sweep",
     "run_workload",
     "validate",
     "ValidationReport",

@@ -1,0 +1,178 @@
+"""Content-addressed on-disk cache of sweep cell results.
+
+A sweep cell's :class:`~repro.sim.stats.MachineStats` is a pure function
+of its configuration: the simulator is deterministic, so (system config,
+policy, workload identity, thread count, transactions per thread) fully
+determines the outcome.  :class:`SweepCache` exploits that by storing each
+cell's stats as one JSON file named by the SHA-256 of a canonical encoding
+of exactly those inputs — repeated figure or validation runs then skip
+every already-computed cell.
+
+Invalidation is by construction: any change to the key inputs (including
+the workload's public attributes, via
+:meth:`~repro.workloads.base.Workload.identity_key`) produces a different
+hash, and simulator-behaviour changes are handled by bumping
+:data:`CODE_SALT`, which is folded into every key.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache`` in the
+  current working directory);
+* ``REPRO_SWEEP_CACHE=0`` — disable the cache even where the CLI would
+  turn it on (:func:`cache_enabled`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..core.policy import Policy
+from ..sim.config import SystemConfig
+from ..sim.stats import MachineStats
+from ..workloads.base import Workload
+
+#: Bump whenever a simulator change alters any cell's stats — every key
+#: includes it, so old entries become unreachable (not merely stale).
+CODE_SALT = "sweep-v1"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_DISABLE = "REPRO_SWEEP_CACHE"
+
+_STATS_FIELDS = {f.name for f in dataclasses.fields(MachineStats)}
+_INT_KEY_FIELDS = ("per_core_instructions", "per_core_cycles")
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_SWEEP_CACHE`` is set to an off value."""
+    return os.environ.get(ENV_DISABLE, "1").lower() not in ("0", "off", "no", "false")
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: ``REPRO_CACHE_DIR`` or ``.repro_cache``."""
+    return Path(os.environ.get(ENV_CACHE_DIR, ".repro_cache"))
+
+
+def stats_to_dict(stats: MachineStats) -> dict:
+    """Encode stats as a JSON-ready dict."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(data: dict) -> MachineStats:
+    """Rebuild :class:`MachineStats` from :func:`stats_to_dict` output.
+
+    JSON turns the per-core dicts' int keys into strings; they are
+    converted back so round-tripped stats compare equal to the originals.
+    Unknown keys are ignored (forward compatibility with entries written
+    by a newer field set — the salt guards semantics, not shape).
+    """
+    fields = {key: value for key, value in data.items() if key in _STATS_FIELDS}
+    for name in _INT_KEY_FIELDS:
+        if name in fields:
+            fields[name] = {int(core): v for core, v in fields[name].items()}
+    return MachineStats(**fields)
+
+
+class SweepCache:
+    """On-disk sweep result cache with hit/miss/store counters.
+
+    One instance is typically shared across a whole sweep (or several);
+    the counters accumulate so CLI entry points can report how much work
+    the cache absorbed.
+    """
+
+    def __init__(
+        self, directory: Optional[Path] = None, salt: str = CODE_SALT
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        system: SystemConfig,
+        policy: Policy,
+        workload: Workload,
+        threads: int,
+        txns_per_thread: int,
+    ) -> str:
+        """Content hash of everything that determines a cell's stats."""
+        material = {
+            "salt": self.salt,
+            "system": dataclasses.asdict(system),
+            "policy": policy.value,
+            "workload": workload.identity_key(),
+            "threads": threads,
+            "txns_per_thread": txns_per_thread,
+        }
+        canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[MachineStats]:
+        """Cached stats for ``key``, or None (counted as hit/miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            stats = stats_from_dict(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, torn, or corrupt entry — treat as a miss; a fresh
+            # run will overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: MachineStats) -> None:
+        """Store ``stats`` under ``key`` (atomic rename, parallel-safe)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        payload = {"salt": self.salt, "stats": stats_to_dict(stats)}
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance / reporting
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line counter summary for CLI output."""
+        return (
+            f"sweep cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} stored ({self.directory})"
+        )

@@ -163,6 +163,8 @@ def figure10_whisper(
     txns_per_thread: int = 150,
     system: Optional[SystemConfig] = None,
     seed: int = 42,
+    jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """WHISPER kernels: IPC, memory energy, throughput, and NVRAM write
     traffic, normalized to unsafe-base (Figure 10)."""
@@ -174,6 +176,8 @@ def figure10_whisper(
         system=system,
         seed=seed,
         workload_factory=lambda name: make_whisper_kernel(name, seed=seed),
+        jobs=jobs,
+        cache=cache,
     )
     headers = ["kernel", "policy", "ipc", "memory_energy_red", "throughput", "write_red"]
     rows = []

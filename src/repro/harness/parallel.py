@@ -1,0 +1,92 @@
+"""Parallel sweep execution over worker processes.
+
+Sweep cells are embarrassingly parallel: each one builds a private
+machine, restores a prepared NVRAM snapshot and runs to completion with
+no shared mutable state.  :func:`run_cells_parallel` fans a list of cells
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+The prepared workloads (the expensive part — megabytes of set-up NVRAM
+image) are shipped **once per worker** through the pool initializer
+rather than once per cell; :class:`~repro.harness.runner.PreparedWorkload`
+pickles with its image prefix zlib-compressed, so even spawn-based start
+methods pay far less than the raw device size.  Results are plain
+:class:`~repro.sim.stats.MachineStats` dataclasses, cheap to return.
+
+Determinism: a cell's outcome depends only on its configuration, never on
+which process runs it, so ``jobs=N`` is bit-identical to the serial loop
+(covered by ``tests/harness/test_parallel_sweep.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, TYPE_CHECKING
+
+from ..sim.stats import MachineStats
+from .runner import PreparedWorkload, RunConfig, run_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
+    from .sweep import SweepCell
+
+#: Per-worker prepared state, installed by :func:`_init_worker`.
+_WORKER_PREPARED: Dict[str, PreparedWorkload] = {}
+
+
+def _init_worker(prepared_map: Dict[str, PreparedWorkload]) -> None:
+    """Pool initializer: receive the prepared workloads once."""
+    global _WORKER_PREPARED
+    _WORKER_PREPARED = prepared_map
+
+
+def _run_cell(
+    benchmark: str, threads: int, policy, txns_per_thread: int, seed: int
+) -> MachineStats:
+    """Run one sweep cell in a worker process; returns its stats."""
+    prepared = _WORKER_PREPARED[benchmark]
+    outcome = run_workload(
+        prepared.workload,
+        RunConfig(
+            policy=policy,
+            threads=threads,
+            txns_per_thread=txns_per_thread,
+            system=prepared.system,
+            seed=seed,
+        ),
+        prepared=prepared,
+    )
+    outcome.machine.nvram.recycle()
+    return outcome.stats
+
+
+def run_cells_parallel(
+    prepared_map: Dict[str, PreparedWorkload],
+    cells: Iterable["SweepCell"],
+    txns_per_thread: int,
+    seed: int,
+    jobs: int,
+) -> Dict["SweepCell", MachineStats]:
+    """Execute ``cells`` across ``jobs`` worker processes.
+
+    Returns ``{cell: stats}``; callers impose their own ordering (dict
+    iteration order here is submission order, which the sweep re-sorts
+    into canonical matrix order anyway).
+    """
+    cells = list(cells)
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(prepared_map,)
+    ) as pool:
+        futures = [
+            (
+                cell,
+                pool.submit(
+                    _run_cell,
+                    cell.benchmark,
+                    cell.threads,
+                    cell.policy,
+                    txns_per_thread,
+                    seed,
+                ),
+            )
+            for cell in cells
+        ]
+        return {cell: future.result() for cell, future in futures}

@@ -9,6 +9,7 @@ LLC and NVRAM banks see time-ordered contention.
 from __future__ import annotations
 
 import heapq
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -58,12 +59,41 @@ class PreparedWorkload:
     Setup can dominate sweep time (it builds megabytes of persistent
     structures); preparing once and restoring the NVRAM image per run
     keeps every policy/thread cell bit-identical at start.
+
+    Only the non-zero prefix of the image is stored (setup writes into a
+    zeroed device, so everything past the last touched byte is zero) and
+    restored into the freshly zeroed machine of each run — the tail of a
+    mostly empty multi-megabyte device is never copied or even paged in.
+    Instances pickle with the prefix zlib-compressed, so shipping a
+    prepared workload to a sweep worker process costs far less than the
+    raw device size.
     """
 
     workload: Workload
     system: SystemConfig
-    image: bytes
+    image_prefix: bytes
+    image_size: int
     heap_state: tuple
+
+    @property
+    def image(self) -> bytes:
+        """The full initial NVRAM image (reconstructed; test/debug use)."""
+        return self.image_prefix + bytes(self.image_size - len(self.image_prefix))
+
+    def restore_into(self, machine: Machine) -> None:
+        """Copy the prepared image into ``machine``'s (zeroed) NVRAM."""
+        machine.nvram.load_image_prefix(self.image_prefix)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["image_prefix"] = zlib.compress(self.image_prefix, 1)
+        state["_compressed"] = True
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if state.pop("_compressed", False):
+            state["image_prefix"] = zlib.decompress(state["image_prefix"])
+        self.__dict__.update(state)
 
 
 def prepare_workload(
@@ -74,9 +104,18 @@ def prepare_workload(
     machine = Machine(system, Policy.NON_PERS)
     pm = PersistentMemory(machine)
     workload.setup(pm)
-    return PreparedWorkload(
-        workload, system, bytes(machine.nvram.image), pm.heap.snapshot()
+    # Setup writes into a zeroed device, so only the written extent can
+    # be non-zero; strip trailing zeros off that extent rather than
+    # copying and scanning the whole (mostly empty) image.
+    lo_end, hi_start = machine.nvram.written_extent()
+    if hi_start < system.nvram.size_bytes:
+        lo_end = system.nvram.size_bytes
+    prefix = bytes(machine.nvram.image[:lo_end]).rstrip(b"\x00")
+    prepared = PreparedWorkload(
+        workload, system, prefix, system.nvram.size_bytes, pm.heap.snapshot()
     )
+    machine.nvram.recycle()
+    return prepared
 
 
 @dataclass
@@ -108,8 +147,9 @@ def run_workload(
     """Execute ``workload`` under ``run`` and return the outcome.
 
     With ``prepared``, the setup phase is skipped and the prepared NVRAM
-    image and heap state are restored instead (the workload must be the
-    prepared one).
+    image and heap state are restored instead (the workload must have the
+    same identity key as the prepared one; see
+    :meth:`~repro.workloads.base.Workload.identity_key`).
     """
     system = run.system or (prepared.system if prepared else default_experiment_config())
     if run.threads > system.num_cores:
@@ -120,9 +160,17 @@ def run_workload(
     machine = Machine(system, run.policy)
     pm = PersistentMemory(machine)
     if prepared is not None:
-        if prepared.workload is not workload:
+        # Identity-key comparison (not object identity): a prepared
+        # workload that crossed a pickle boundary — e.g. shipped to a
+        # sweep worker process — is a different object with the same
+        # configuration and post-setup state, and must be accepted.
+        if prepared.workload.identity_key() != workload.identity_key():
             raise WorkloadError("prepared state belongs to a different workload")
-        machine.nvram.image[:] = prepared.image
+        # The prepared instance carries the post-setup host-side state
+        # (layout addresses, resident sets); run that one even if the
+        # caller passed an equivalent fresh instance.
+        workload = prepared.workload
+        prepared.restore_into(machine)
         pm.heap.restore(prepared.heap_state)
         workload.attach(pm)
     else:

@@ -4,19 +4,39 @@ Figures 6-9 all read off the same matrix of runs (benchmark x thread
 count x policy); :func:`run_micro_sweep` executes it once and the figure
 functions extract their metric.  Only the stats snapshot is retained per
 cell to keep memory bounded.
+
+The sweep engine has two throughput levers on top of the serial loop:
+
+* ``jobs=N`` fans the cells over worker processes
+  (:mod:`~repro.harness.parallel`); cells are independent, so results are
+  bit-identical to the serial loop in any case.
+* ``cache=`` consults a content-addressed on-disk store
+  (:mod:`~repro.harness.cache`) before running anything; benchmarks whose
+  cells all hit are never even prepared.
+
+Whatever mix of cached and fresh cells a sweep ends up with, the result
+dict is assembled in canonical matrix order (benchmarks outermost,
+policies innermost) so downstream consumers see the same ordering as a
+cold serial sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from ..core.policy import MICROBENCH_POLICIES, Policy
 from ..sim.config import SystemConfig
 from ..sim.stats import MachineStats
 from ..workloads import make_microbenchmark
 from ..workloads.base import Workload
-from .runner import RunConfig, prepare_workload, run_workload
+from .cache import SweepCache
+from .runner import (
+    RunConfig,
+    default_experiment_config,
+    prepare_workload,
+    run_workload,
+)
 
 
 @dataclass(frozen=True)
@@ -32,7 +52,7 @@ class SweepCell:
 class SweepResult:
     """Stats for every executed cell."""
 
-    cells: dict = field(default_factory=dict)
+    cells: Dict[SweepCell, MachineStats] = field(default_factory=dict)
 
     def stats(self, benchmark: str, threads: int, policy: Policy) -> MachineStats:
         """Stats for one cell (KeyError if the cell was not swept)."""
@@ -55,6 +75,16 @@ class SweepResult:
         present = {cell.policy for cell in self.cells}
         return [policy for policy in MICROBENCH_POLICIES if policy in present]
 
+    def merge(self, other: "SweepResult") -> "SweepResult":
+        """Combine two results into a new one (``other`` wins on overlap).
+
+        Lets callers assemble a matrix from partial sweeps — e.g. extend
+        an existing result with extra thread counts or benchmarks.
+        """
+        merged: Dict[SweepCell, MachineStats] = dict(self.cells)
+        merged.update(other.cells)
+        return SweepResult(merged)
+
 
 def run_micro_sweep(
     benchmarks: Iterable[str] = ("hash", "rbtree", "sps", "btree", "ssca2"),
@@ -65,32 +95,90 @@ def run_micro_sweep(
     seed: int = 42,
     value_kind: str = "int",
     workload_factory: Optional[Callable[[str], Workload]] = None,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> SweepResult:
     """Run the benchmark x threads x policy matrix; returns all stats.
 
     ``workload_factory`` may override how a benchmark name becomes a
-    workload (used by the WHISPER sweep and by tests).
+    workload (used by the WHISPER sweep and by tests).  ``jobs > 1`` runs
+    the cells on that many worker processes; ``cache`` (off by default —
+    library callers opt in, the CLI passes one) serves cells from the
+    on-disk store and writes back fresh results.
     """
-    result = SweepResult()
+    benchmarks = tuple(benchmarks)
+    threads = tuple(threads)
+    policies = tuple(policies)
+    workloads: Dict[str, Workload] = {}
     for benchmark in benchmarks:
         if workload_factory is not None:
-            workload = workload_factory(benchmark)
+            workloads[benchmark] = workload_factory(benchmark)
         else:
-            workload = make_microbenchmark(benchmark, seed=seed, value_kind=value_kind)
-        prepared = prepare_workload(workload, system)
-        for nthreads in threads:
-            for policy in policies:
+            workloads[benchmark] = make_microbenchmark(
+                benchmark, seed=seed, value_kind=value_kind
+            )
+
+    order = [
+        SweepCell(benchmark, nthreads, policy)
+        for benchmark in benchmarks
+        for nthreads in threads
+        for policy in policies
+    ]
+
+    # Cache probe first: a benchmark whose cells all hit never pays for
+    # preparation at all.
+    collected: Dict[SweepCell, MachineStats] = {}
+    keys: Dict[SweepCell, str] = {}
+    pending = []
+    resolved_system = system if system is not None else default_experiment_config()
+    for cell in order:
+        if cache is not None:
+            keys[cell] = cache.key(
+                resolved_system,
+                cell.policy,
+                workloads[cell.benchmark],
+                cell.threads,
+                txns_per_thread,
+            )
+            stats = cache.get(keys[cell])
+            if stats is not None:
+                collected[cell] = stats
+                continue
+        pending.append(cell)
+
+    if pending:
+        needed = {cell.benchmark for cell in pending}
+        prepared = {
+            benchmark: prepare_workload(workloads[benchmark], system)
+            for benchmark in benchmarks
+            if benchmark in needed
+        }
+        if jobs > 1:
+            from .parallel import run_cells_parallel
+
+            fresh = run_cells_parallel(prepared, pending, txns_per_thread, seed, jobs)
+        else:
+            fresh = {}
+            for cell in pending:
                 outcome = run_workload(
-                    workload,
+                    workloads[cell.benchmark],
                     RunConfig(
-                        policy=policy,
-                        threads=nthreads,
+                        policy=cell.policy,
+                        threads=cell.threads,
                         txns_per_thread=txns_per_thread,
                         system=system,
                         seed=seed,
                     ),
-                    prepared=prepared,
+                    prepared=prepared[cell.benchmark],
                 )
-                cell = SweepCell(benchmark, nthreads, policy)
-                result.cells[cell] = outcome.stats
-    return result
+                # The cell's machine is finished: recycling its NVRAM
+                # buffer saves an allocate+zero of the full device for
+                # the next cell.
+                outcome.machine.nvram.recycle()
+                fresh[cell] = outcome.stats
+        for cell, stats in fresh.items():
+            collected[cell] = stats
+            if cache is not None:
+                cache.put(keys[cell], stats)
+
+    return SweepResult({cell: collected[cell] for cell in order})

@@ -62,10 +62,21 @@ def validate(
     sweep: Optional[SweepResult] = None,
     threads: int = 1,
     txns_per_thread: int = 250,
+    jobs: int = 1,
+    cache=None,
 ) -> ValidationReport:
-    """Run the headline shape checks; returns the report."""
+    """Run the headline shape checks; returns the report.
+
+    ``jobs`` and ``cache`` (a :class:`~repro.harness.cache.SweepCache`)
+    are forwarded to :func:`run_micro_sweep` when no sweep is supplied.
+    """
     if sweep is None:
-        sweep = run_micro_sweep(threads=(threads,), txns_per_thread=txns_per_thread)
+        sweep = run_micro_sweep(
+            threads=(threads,),
+            txns_per_thread=txns_per_thread,
+            jobs=jobs,
+            cache=cache,
+        )
     report = ValidationReport()
 
     gain = summarize_fwb_gain(sweep, threads)

@@ -52,14 +52,25 @@ class SetAssociativeCache:
     """LRU set-associative cache with write-back write-allocate semantics.
 
     Sets are allocated lazily (a dict keyed by set index) so that large
-    caches cost memory only for the sets actually touched.
+    caches cost memory only for the sets actually touched.  Each set is
+    itself a ``dict[tag -> CacheLine]`` — a tag probe is one hash lookup
+    instead of a linear scan of up to ``ways`` tags, which is the
+    simulator's single hottest operation (every load, store, fill,
+    coherence probe and write-back probes a set).
+
+    The insertion order of a set's dict doubles as the LRU tie-break
+    order: Python dicts preserve insertion order, victim selection takes
+    the minimum ``last_use`` with first-inserted winning ties, and
+    removal + reinsertion moves a line to the back — exactly the order a
+    list with ``append``/``remove`` (the previous representation)
+    maintains, keeping eviction behaviour bit-identical.
     """
 
     def __init__(self, config: CacheConfig, name: str) -> None:
         config.validate()
         self.config = config
         self.name = name
-        self._sets: dict[int, list[CacheLine]] = {}
+        self._sets: dict[int, dict[int, CacheLine]] = {}
         self._num_sets = config.num_sets
         self._line_size = config.line_size
 
@@ -71,14 +82,11 @@ class SetAssociativeCache:
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Return the line containing ``addr`` or None (no LRU update)."""
-        line_addr = line_address(addr, self._line_size)
+        line_addr = addr & ~(self._line_size - 1)
         bucket = self._sets.get(self._set_index(line_addr))
         if bucket is None:
             return None
-        for line in bucket:
-            if line.addr == line_addr:
-                return line
-        return None
+        return bucket.get(line_addr)
 
     def touch(self, line: CacheLine, now: float) -> None:
         """Mark ``line`` most-recently-used at ``now``."""
@@ -87,48 +95,56 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     # Allocation / eviction
     # ------------------------------------------------------------------
-    def insert(
+    def fill(
         self, line_addr: int, data: bytes, now: float, dirty: bool = False
-    ) -> Optional[EvictedLine]:
-        """Insert a line, evicting the LRU victim if the set is full.
+    ) -> tuple[CacheLine, Optional[EvictedLine]]:
+        """Insert a line and return ``(new_line, evicted_victim)``.
 
-        Returns the evicted line (which the caller must write back if
-        dirty) or None.  Inserting a line that is already present is a
-        simulator bug and raises :class:`SimulationError`.
+        The victim (which the caller must write back if dirty) is None
+        when the set had room.  Inserting a line that is already present
+        is a simulator bug and raises :class:`SimulationError`.  Hot
+        paths use this instead of :meth:`insert` + :meth:`lookup` to
+        avoid probing the set twice per fill.
         """
         if len(data) != self._line_size:
             raise SimulationError(
                 f"{self.name}: insert of {len(data)} bytes, line is {self._line_size}"
             )
         index = self._set_index(line_addr)
-        bucket = self._sets.setdefault(index, [])
-        for line in bucket:
-            if line.addr == line_addr:
-                raise SimulationError(f"{self.name}: duplicate insert {line_addr:#x}")
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = self._sets[index] = {}
+        elif line_addr in bucket:
+            raise SimulationError(f"{self.name}: duplicate insert {line_addr:#x}")
         victim: Optional[EvictedLine] = None
         if len(bucket) >= self.config.ways:
-            lru = min(bucket, key=lambda ln: ln.last_use)
-            bucket.remove(lru)
+            lru = min(bucket.values(), key=lambda ln: ln.last_use)
+            del bucket[lru.addr]
             victim = EvictedLine(lru.addr, bytes(lru.data), lru.dirty, lru.log_release)
         line = CacheLine(line_addr, data, now)
         line.dirty = dirty
-        bucket.append(line)
-        return victim
+        bucket[line_addr] = line
+        return line, victim
+
+    def insert(
+        self, line_addr: int, data: bytes, now: float, dirty: bool = False
+    ) -> Optional[EvictedLine]:
+        """Insert a line, evicting the LRU victim if the set is full.
+
+        Returns the evicted line or None; see :meth:`fill`.
+        """
+        return self.fill(line_addr, data, now, dirty)[1]
 
     def invalidate(self, addr: int) -> Optional[EvictedLine]:
         """Remove the line containing ``addr``; return its final state."""
         line_addr = line_address(addr, self._line_size)
-        index = self._set_index(line_addr)
-        bucket = self._sets.get(index)
+        bucket = self._sets.get(self._set_index(line_addr))
         if not bucket:
             return None
-        for line in bucket:
-            if line.addr == line_addr:
-                bucket.remove(line)
-                return EvictedLine(
-                    line.addr, bytes(line.data), line.dirty, line.log_release
-                )
-        return None
+        line = bucket.pop(line_addr, None)
+        if line is None:
+            return None
+        return EvictedLine(line.addr, bytes(line.data), line.dirty, line.log_release)
 
     def drop_all(self) -> None:
         """Discard every line (power loss)."""
@@ -140,7 +156,7 @@ class SetAssociativeCache:
     def iter_lines(self) -> Iterator[CacheLine]:
         """Iterate all valid lines (order unspecified)."""
         for bucket in self._sets.values():
-            yield from bucket
+            yield from bucket.values()
 
     @property
     def occupancy(self) -> int:

@@ -154,28 +154,27 @@ class CacheHierarchy:
         self._stats.llc_misses += 1
         issue = now + self.l1_latency + self.llc_latency
         finish, data = self._memctrl.read(line_addr, self._line_size, issue)
-        victim = self.llc.insert(line_addr, data, now)
+        line, victim = self.llc.fill(line_addr, data, now)
         if victim is not None:
             self._evict_llc_victim(victim, now)
-        line = self.llc.lookup(line_addr)
-        if line is None:  # pragma: no cover - insert guarantees presence
-            raise SimulationError("LLC fill failed")
         return self.llc_latency + (finish - issue), line
 
     def _fill_l1(
         self, core_id: int, line_addr: int, data: bytes, now: float, release: float
     ) -> CacheLine:
-        """Install a line in ``core_id``'s L1, evicting a victim into the LLC."""
+        """Install a line in ``core_id``'s L1, evicting a victim into the LLC.
+
+        ``data`` may be any bytes-like buffer (the new line copies it
+        once); callers pass the LLC line's backing buffer directly rather
+        than materialising an intermediate ``bytes``.
+        """
         l1 = self.l1s[core_id]
-        victim = l1.insert(line_addr, data, now)
+        line, victim = l1.fill(line_addr, data, now)
         self._directory_add(line_addr, core_id)
         if victim is not None:
             self._directory_remove(victim.addr, core_id)
             if victim.dirty:
                 self._merge_into_llc(victim, now)
-        line = l1.lookup(line_addr)
-        if line is None:  # pragma: no cover
-            raise SimulationError("L1 fill failed")
         line.log_release = release
         return line
 
@@ -237,7 +236,7 @@ class CacheHierarchy:
         extra = self._pull_remote_dirty(core_id, line_addr, now, invalidate=False)
         llc_extra, llc_line = self._fetch_llc(line_addr, now)
         level = "llc" if llc_extra == self.llc_latency else "mem"
-        filled = self._fill_l1(core_id, line_addr, bytes(llc_line.data), now, 0.0)
+        filled = self._fill_l1(core_id, line_addr, llc_line.data, now, 0.0)
         off = addr - line_addr
         latency = self.l1_latency + llc_extra + extra + tax
         return LoadResult(latency, level, bytes(filled.data[off:off + size]))
@@ -268,7 +267,7 @@ class CacheHierarchy:
             extra = self._pull_remote_dirty(core_id, line_addr, now, invalidate=True)
             llc_extra, llc_line = self._fetch_llc(line_addr, now)
             level = "llc" if llc_extra == self.llc_latency else "mem"
-            line = self._fill_l1(core_id, line_addr, bytes(llc_line.data), now, 0.0)
+            line = self._fill_l1(core_id, line_addr, llc_line.data, now, 0.0)
             latency = self.l1_latency + llc_extra + extra + tax
         off = addr - line_addr
         old = bytes(line.data[off:off + size])

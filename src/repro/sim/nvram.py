@@ -6,11 +6,24 @@ keeps an *undo journal* of recently applied writes so that
 :meth:`revert_after` can discard writes that had been posted but were not
 yet durable at the crash instant (writes still in the controller's queues
 or in flight on the banks are, architecturally, volatile).
+
+Two hot-path design points keep large sweeps fast:
+
+* The functional image is a flat ``bytearray``, but allocating (and the
+  OS zeroing) a fresh multi-megabyte image for every sweep cell is
+  measurable, so finished devices can :meth:`recycle` their buffer into a
+  per-process pool.  The device tracks the extent of all writes as two
+  windows — a low-address one (the heap grows up from the bottom) and a
+  high-address one (the log region sits at the top) — and re-zeroes only
+  those windows on recycle, which is far cheaper than a full-image memset
+  when the footprint is a fraction of the device.
+* Bounds checks on ``read``/``write``/``peek``/``poke`` are inlined
+  (rather than calling :func:`~repro.utils.check_range`): workload setup
+  issues millions of functional writes and the extra call frame dominated
+  the setup profile.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from ..errors import AddressError
 from ..utils import check_range
@@ -20,10 +33,25 @@ from .config import NVDimmConfig
 class NVRAM:
     """NVRAM DIMM: persistent image, banks, row buffers, traffic counters."""
 
+    #: Recycled image buffers by size, shared within the process (sweeps
+    #: build one machine per cell; reusing the zeroed buffer avoids an
+    #: allocate + zero of the full device each time).
+    _image_pool: dict[int, list[bytearray]] = {}
+    _IMAGE_POOL_LIMIT = 4
+
     def __init__(self, config: NVDimmConfig, track_crash_state: bool = True) -> None:
         config.validate()
         self.config = config
-        self.image = bytearray(config.size_bytes)
+        self._size = config.size_bytes
+        pool = NVRAM._image_pool.get(self._size)
+        self.image = pool.pop() if pool else bytearray(self._size)
+        # Dirty-extent windows: every byte that may differ from zero lies
+        # in [0, _lo_hwm) or [_hi_lwm, size).  Two windows match the
+        # bimodal write pattern (heap at the bottom, log at the top); a
+        # write anywhere still lands in one of them, it just widens it.
+        self._mid = self._size // 2
+        self._lo_hwm = 0
+        self._hi_lwm = self._size
         self._track = track_crash_state
         # Per-bank open rows (LRU list, newest last; the cited PCM design
         # has several row buffers per bank) and next-free times.  Reads
@@ -74,7 +102,7 @@ class NVRAM:
     # ------------------------------------------------------------------
     def register_region(self, name: str, base: int, size: int) -> None:
         """Label an address range for per-region write accounting."""
-        check_range(base, size, self.config.size_bytes, f"region {name}")
+        check_range(base, size, self._size, f"region {name}")
         self._regions[name] = (base, size)
         self.region_write_bytes.setdefault(name, 0)
 
@@ -84,19 +112,37 @@ class NVRAM:
                 self.region_write_bytes[name] += size
                 return
 
+    def _note_write(self, addr: int, end: int) -> None:
+        """Fold ``[addr, end)`` into the dirty-extent windows."""
+        if addr < self._mid:
+            if end > self._lo_hwm:
+                self._lo_hwm = end
+        elif addr < self._hi_lwm:
+            self._hi_lwm = addr
+
     # ------------------------------------------------------------------
     # Functional access
     # ------------------------------------------------------------------
     def read(self, addr: int, size: int) -> bytes:
         """Functional read of ``size`` bytes (no timing)."""
-        check_range(addr, size, self.config.size_bytes, "NVRAM read")
+        end = addr + size
+        if addr < 0 or size < 0 or end > self._size:
+            raise AddressError(
+                f"NVRAM read out of range: addr={addr:#x} size={size} "
+                f"limit={self._size:#x}"
+            )
         self.total_read_bytes += size
-        return bytes(self.image[addr:addr + size])
+        return bytes(self.image[addr:end])
 
     def peek(self, addr: int, size: int) -> bytes:
         """Read without touching traffic counters (for recovery/tests)."""
-        check_range(addr, size, self.config.size_bytes, "NVRAM peek")
-        return bytes(self.image[addr:addr + size])
+        end = addr + size
+        if addr < 0 or size < 0 or end > self._size:
+            raise AddressError(
+                f"NVRAM peek out of range: addr={addr:#x} size={size} "
+                f"limit={self._size:#x}"
+            )
+        return bytes(self.image[addr:end])
 
     def write(self, addr: int, data: bytes, completion_time: float = 0.0) -> None:
         """Apply a write that becomes durable at ``completion_time``.
@@ -107,18 +153,70 @@ class NVRAM:
         still in flight at a crash.
         """
         size = len(data)
-        check_range(addr, size, self.config.size_bytes, "NVRAM write")
+        end = addr + size
+        if addr < 0 or end > self._size:
+            raise AddressError(
+                f"NVRAM write out of range: addr={addr:#x} size={size} "
+                f"limit={self._size:#x}"
+            )
         if self._track:
-            old = bytes(self.image[addr:addr + size])
+            old = bytes(self.image[addr:end])
             self._journal.append((completion_time, addr, old))
-        self.image[addr:addr + size] = data
+        self.image[addr:end] = data
+        self._note_write(addr, end)
         self.total_write_bytes += size
         self._account_region_write(addr, size)
 
     def poke(self, addr: int, data: bytes) -> None:
         """Write without timing, journaling, or counters (setup/recovery)."""
-        check_range(addr, len(data), self.config.size_bytes, "NVRAM poke")
-        self.image[addr:addr + len(data)] = data
+        end = addr + len(data)
+        if addr < 0 or end > self._size:
+            raise AddressError(
+                f"NVRAM poke out of range: addr={addr:#x} size={len(data)} "
+                f"limit={self._size:#x}"
+            )
+        self.image[addr:end] = data
+        if addr < self._mid:
+            if end > self._lo_hwm:
+                self._lo_hwm = end
+        elif addr < self._hi_lwm:
+            self._hi_lwm = addr
+
+    def load_image_prefix(self, data: bytes) -> None:
+        """Bulk-restore ``data`` at address 0 (prepared-workload restore)."""
+        if len(data) > self._size:
+            raise AddressError(
+                f"image prefix of {len(data)} bytes exceeds device size {self._size}"
+            )
+        self.image[: len(data)] = data
+        self._note_write(0, len(data))
+
+    def written_extent(self) -> tuple[int, int]:
+        """The dirty-extent windows as ``(lo_end, hi_start)``.
+
+        All bytes that may differ from zero lie in ``[0, lo_end)`` or
+        ``[hi_start, size)``.
+        """
+        return self._lo_hwm, self._hi_lwm
+
+    def recycle(self) -> None:
+        """Re-zero the written extents and return the buffer to the pool.
+
+        Only call when the device (and its machine) will not be used
+        again — sweeps do this after extracting a cell's stats.  The
+        image is detached so any later access fails loudly rather than
+        reading a reused buffer.
+        """
+        image = self.image
+        if image is None:
+            return
+        self.image = None
+        image[: self._lo_hwm] = bytes(self._lo_hwm)
+        if self._hi_lwm < self._size:
+            image[self._hi_lwm:] = bytes(self._size - self._hi_lwm)
+        pool = NVRAM._image_pool.setdefault(self._size, [])
+        if len(pool) < NVRAM._IMAGE_POOL_LIMIT:
+            pool.append(image)
 
     # ------------------------------------------------------------------
     # Crash support

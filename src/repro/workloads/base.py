@@ -19,23 +19,40 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..errors import AddressError
 from ..txn.runtime import PersistentMemory, ThreadAPI
-from ..utils import int_to_word, word_to_int
 
 
 class SetupAccessor:
-    """Untimed accessor used while building initial workload state."""
+    """Untimed accessor used while building initial workload state.
+
+    Setup issues millions of functional accesses for paper-scale
+    footprints, so ``read``/``write`` go straight to the NVRAM device
+    (bound at construction) instead of through the
+    :class:`PersistentMemory` facade — one call frame fewer each.
+    ``read`` is a closure over the device image returning a (mutable,
+    caller-owned) ``bytearray`` slice: setup readers only decode or
+    compare the result, and skipping the immutable-``bytes`` wrap of
+    :meth:`~repro.sim.nvram.NVRAM.peek` halves the per-read copy cost.
+    """
 
     def __init__(self, pm: PersistentMemory) -> None:
         self._pm = pm
+        nvram = pm.machine.nvram
+        image = nvram.image
+        size = len(image)
 
-    def read(self, addr: int, size: int) -> bytes:
-        """Functional read (no timing, no cache state)."""
-        return self._pm.setup_read(addr, size)
+        def read(addr: int, length: int) -> bytearray:
+            end = addr + length
+            if addr < 0 or length < 0 or end > size:
+                raise AddressError(
+                    f"setup read out of range: addr={addr:#x} size={length} "
+                    f"limit={size:#x}"
+                )
+            return image[addr:end]
 
-    def write(self, addr: int, data: bytes) -> None:
-        """Functional write directly into NVRAM."""
-        self._pm.setup_write(addr, data)
+        self.read = read
+        self.write = nvram.poke
 
     def compute(self, count: int) -> None:
         """No-op during setup."""
@@ -92,6 +109,26 @@ class Workload(abc.ABC):
         a prepared snapshot (see :func:`repro.harness.runner.prepare_workload`)."""
         self._heap = pm.heap
 
+    def identity_key(self) -> tuple:
+        """Stable identity of this workload's configuration.
+
+        Two workload instances with equal keys build identical persistent
+        state and issue identical transaction streams, so prepared
+        snapshots and cached sweep results may be shared between them.
+        The key covers the concrete class plus every public (non-derived)
+        attribute — derived run state uses underscored names by
+        convention.  Used by the prepared-state check in
+        :func:`repro.harness.runner.run_workload` (which must accept a
+        pickle-round-tripped workload in a worker process) and by the
+        sweep result cache.
+        """
+        public = tuple(
+            (name, repr(value))
+            for name, value in sorted(vars(self).items())
+            if not name.startswith("_")
+        )
+        return (type(self).__module__, type(self).__qualname__, public)
+
     @abc.abstractmethod
     def thread_body(
         self, api: ThreadAPI, tid: int, num_txns: int
@@ -101,19 +138,22 @@ class Workload(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    # ``int.to_bytes``/``int.from_bytes`` are used directly (rather than
+    # the utils helpers) because structure traversal calls these millions
+    # of times per sweep and the extra call frame is measurable.
     @staticmethod
     def read_word(acc, addr: int) -> int:
         """Read one little-endian word as an unsigned int."""
-        return word_to_int(acc.read(addr, 8))
+        return int.from_bytes(acc.read(addr, 8), "little")
 
     @staticmethod
     def write_word(acc, addr: int, value: int) -> None:
         """Write one unsigned int as a little-endian word."""
-        acc.write(addr, int_to_word(value))
+        acc.write(addr, int(value).to_bytes(8, "little"))
 
     def make_value(self, rng, tag: int) -> bytes:
         """Build an element payload (int word or multi-line string)."""
         if self.value_kind == "int":
-            return int_to_word(tag & ((1 << 64) - 1))
+            return (tag & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
         body = (tag & 0xFF).to_bytes(1, "little") * self.value_size
         return body

@@ -63,8 +63,9 @@ class HashTableWorkload(Workload):
         acc = SetupAccessor(pm)
         total_buckets = MAX_PARTITIONS * self.buckets_per_partition
         self._buckets_base = pm.heap.alloc(total_buckets * 8)
-        for bucket in range(total_buckets):
-            self.write_word(acc, self._buckets_base + bucket * 8, 0)
+        # One bulk write of zeros instead of a word-at-a-time loop over
+        # every bucket head (same bytes).
+        acc.write(self._buckets_base, bytes(total_buckets * 8))
         self._resident = [set() for _ in range(MAX_PARTITIONS)]
         rng = thread_rng(self.seed, 0xBEEF)
         for part in range(MAX_PARTITIONS):
@@ -100,14 +101,16 @@ class HashTableWorkload(Workload):
         )
         return self._buckets_base + index * 8
 
+    # read_word/write_word are inlined in _insert (the setup loop calls
+    # it hundreds of thousands of times); same bytes, fewer frames.
     def _insert(self, acc, part: int, key: int, value: bytes) -> None:
         bucket = self._bucket_addr(part, key)
-        head = self.read_word(acc, bucket)
+        head = int.from_bytes(acc.read(bucket, 8), "little")
         node = acc.alloc(self.node_size)
-        self.write_word(acc, node, key)
-        self.write_word(acc, node + 8, head)
+        acc.write(node, key.to_bytes(8, "little"))
+        acc.write(node + 8, head.to_bytes(8, "little"))
         acc.write(node + 16, value)
-        self.write_word(acc, bucket, node)
+        acc.write(bucket, node.to_bytes(8, "little"))
 
     def _remove(self, acc, part: int, key: int) -> None:
         bucket = self._bucket_addr(part, key)

@@ -55,11 +55,19 @@ class SPSWorkload(Workload):
         """Allocate the vector and fill it with distinct tags."""
         acc = SetupAccessor(pm)
         total = MAX_PARTITIONS * self.entries_per_partition
-        self._base = pm.heap.alloc(total * self.entry_size)
+        entry_size = self.entry_size
+        self._base = pm.heap.alloc(total * entry_size)
         rng = thread_rng(self.seed, 0x5B5)
-        for part in range(MAX_PARTITIONS):
+        # The fill is strictly sequential, so the address is advanced by
+        # a running counter instead of a million entry_addr() calls
+        # (same addresses, ~2 fewer frames per entry).
+        write = acc.write
+        make_value = self.make_value
+        addr = self._base
+        for _part in range(MAX_PARTITIONS):
             for index in range(self.entries_per_partition):
-                acc.write(self.entry_addr(part, index), self.make_value(rng, index))
+                write(addr, make_value(rng, index))
+                addr += entry_size
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One swap transaction per iteration."""

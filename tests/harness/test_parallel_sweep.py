@@ -1,0 +1,87 @@
+"""Parallel sweep execution: determinism and prepared-state shipping."""
+
+import pickle
+
+from repro import Policy
+from repro.harness.runner import (
+    RunConfig,
+    prepare_workload,
+    run_workload,
+)
+from repro.harness.sweep import run_micro_sweep
+from repro.workloads.hashtable import HashTableWorkload
+from tests.conftest import tiny_system
+
+POLICIES = (Policy.NON_PERS, Policy.UNDO_CLWB, Policy.FWB)
+
+
+def small_workload(seed=1):
+    return HashTableWorkload(
+        seed=seed, buckets_per_partition=16, keys_per_partition=64
+    )
+
+
+def small_factory(name):
+    return small_workload()
+
+
+def sweep_kwargs(**overrides):
+    kw = dict(
+        benchmarks=("hash",),
+        threads=(1, 2),
+        policies=POLICIES,
+        txns_per_thread=15,
+        system=tiny_system(),
+        workload_factory=small_factory,
+    )
+    kw.update(overrides)
+    return kw
+
+
+class TestParallelDeterminism:
+    def test_jobs2_bit_identical_to_serial(self):
+        serial = run_micro_sweep(**sweep_kwargs())
+        parallel = run_micro_sweep(**sweep_kwargs(), jobs=2)
+        assert list(parallel.cells) == list(serial.cells)  # canonical order
+        for cell in serial.cells:
+            assert parallel.cells[cell] == serial.cells[cell], cell
+
+    def test_jobs1_uses_in_process_loop(self):
+        # jobs=1 must not spin up a pool: identical results and the
+        # parallel module is never imported into the sweep path.
+        result = run_micro_sweep(**sweep_kwargs(), jobs=1)
+        assert len(result.cells) == 2 * len(POLICIES)
+
+
+class TestPreparedShipping:
+    def test_pickle_round_trip_restores_image(self):
+        prepared = prepare_workload(small_workload(), tiny_system())
+        clone = pickle.loads(pickle.dumps(prepared))
+        assert clone.image == prepared.image
+        assert clone.heap_state == prepared.heap_state
+        assert clone.workload.identity_key() == prepared.workload.identity_key()
+
+    def test_pickled_prepared_runs_identically(self):
+        prepared = prepare_workload(small_workload(), tiny_system())
+        clone = pickle.loads(pickle.dumps(prepared))
+        run = RunConfig(
+            policy=Policy.FWB, threads=2, txns_per_thread=15, system=tiny_system()
+        )
+        # The clone is a different object with the same identity key —
+        # exactly what a worker process sees.
+        direct = run_workload(small_workload(), run, prepared=prepared).stats
+        shipped = run_workload(small_workload(), run, prepared=clone).stats
+        assert shipped == direct
+
+    def test_equivalent_fresh_workload_accepted(self):
+        # Identity is by configuration, not object id: a fresh workload
+        # with equal public attributes may use the prepared state.
+        prepared = prepare_workload(small_workload(), tiny_system())
+        outcome = run_workload(
+            small_workload(),
+            RunConfig(
+                policy=Policy.HWL, threads=1, txns_per_thread=10, system=tiny_system()
+            ),
+            prepared=prepared,
+        )
+        assert outcome.stats.transactions_committed == 10

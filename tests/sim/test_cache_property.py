@@ -1,0 +1,158 @@
+"""Property-style check: dict-based cache == seed's linear-scan cache.
+
+The set-associative cache was rewritten from per-set line *lists* probed
+by linear scan to per-set ``dict[tag -> line]`` probed by hash lookup.
+The rewrite must be bit-identical — same hits, same LRU victims (including
+the first-inserted-wins tie-break on equal ``last_use``), same dirty/fwb
+bits on evicted state.  This test replays long randomized operation
+sequences against a reference reimplementation of the original
+list-based semantics and compares every observable after every step.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.cache import CacheLine, SetAssociativeCache
+from repro.sim.config import CacheConfig
+
+LINE = 64
+
+
+class LinearScanCache:
+    """Reference model: the seed's list-based LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._sets: dict[int, list[CacheLine]] = {}
+        self._num_sets = config.num_sets
+        self._line_size = config.line_size
+        self._ways = config.ways
+
+    def _index(self, line_addr: int) -> int:
+        return (line_addr // self._line_size) % self._num_sets
+
+    def lookup(self, addr: int):
+        line_addr = addr - (addr % self._line_size)
+        for line in self._sets.get(self._index(line_addr), ()):
+            if line.addr == line_addr:
+                return line
+        return None
+
+    def insert(self, line_addr: int, data: bytes, now: float, dirty: bool = False):
+        bucket = self._sets.setdefault(self._index(line_addr), [])
+        victim = None
+        if len(bucket) >= self._ways:
+            lru = min(bucket, key=lambda ln: ln.last_use)
+            bucket.remove(lru)
+            victim = (lru.addr, bytes(lru.data), lru.dirty, lru.log_release)
+        line = CacheLine(line_addr, data, now)
+        line.dirty = dirty
+        bucket.append(line)
+        return victim
+
+    def invalidate(self, addr: int):
+        line_addr = addr - (addr % self._line_size)
+        bucket = self._sets.get(self._index(line_addr))
+        if not bucket:
+            return None
+        for line in bucket:
+            if line.addr == line_addr:
+                bucket.remove(line)
+                return (line.addr, bytes(line.data), line.dirty, line.log_release)
+        return None
+
+    def lines(self):
+        for bucket in self._sets.values():
+            yield from bucket
+
+
+def line_state(line):
+    return (line.addr, bytes(line.data), line.dirty, line.fwb, line.last_use)
+
+
+def evicted_state(ev):
+    if ev is None or isinstance(ev, tuple):
+        return ev
+    return (ev.addr, ev.data, ev.dirty, ev.log_release)
+
+
+def assert_same_contents(cache, model):
+    assert sorted(line_state(l) for l in cache.iter_lines()) == sorted(
+        line_state(l) for l in model.lines()
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_dict_cache_matches_linear_scan(seed):
+    config = CacheConfig(size_bytes=8 * LINE * 4, ways=4, line_size=LINE)
+    cache = SetAssociativeCache(config, "dut")
+    model = LinearScanCache(config)
+    rng = random.Random(seed)
+    # A small address pool forces heavy set conflict (constant evictions)
+    # and frequent re-touches of resident lines.
+    addrs = [i * LINE for i in range(40)]
+    now = 0.0
+
+    for step in range(3000):
+        now += rng.choice([0.0, 0.0, 1.0])  # repeated timestamps hit the tie-break
+        op = rng.random()
+        addr = rng.choice(addrs) + rng.randrange(LINE)
+        line_addr = addr - (addr % LINE)
+        if op < 0.55:
+            got, want = cache.lookup(addr), model.lookup(addr)
+            assert (got is None) == (want is None), f"step {step}: hit mismatch"
+            if got is not None:
+                assert line_state(got) == line_state(want)
+                # Mutate both sides the way the hierarchy does on a hit.
+                cache.touch(got, now)
+                want.last_use = now
+                if rng.random() < 0.4:
+                    got.dirty = want.dirty = True
+                if rng.random() < 0.2:
+                    got.fwb = want.fwb = True
+                if rng.random() < 0.2:
+                    release = rng.random() * 100
+                    got.log_release = want.log_release = release
+            else:
+                data = bytes([rng.randrange(256)]) * LINE
+                dirty = rng.random() < 0.5
+                got_ev = cache.insert(line_addr, data, now, dirty=dirty)
+                want_ev = model.insert(line_addr, data, now, dirty=dirty)
+                assert evicted_state(got_ev) == evicted_state(want_ev), (
+                    f"step {step}: victim mismatch"
+                )
+        elif op < 0.7:
+            got_ev = cache.invalidate(addr)
+            want_ev = model.invalidate(addr)
+            assert evicted_state(got_ev) == evicted_state(want_ev)
+        elif op < 0.85:
+            # fill() is the hot-path combined insert+return-line API.
+            if cache.lookup(line_addr) is None:
+                data = bytes([step % 256]) * LINE
+                line, got_ev = cache.fill(line_addr, data, now)
+                want_ev = model.insert(line_addr, data, now)
+                assert line.addr == line_addr
+                assert evicted_state(got_ev) == evicted_state(want_ev)
+        else:
+            assert cache.occupancy == sum(1 for _ in model.lines())
+        if step % 100 == 0:
+            assert_same_contents(cache, model)
+
+    assert_same_contents(cache, model)
+
+
+def test_eviction_tie_break_first_inserted_wins():
+    """Equal last_use: the earliest-inserted line must be the victim."""
+    config = CacheConfig(size_bytes=2 * LINE * 1, ways=2, line_size=LINE)
+    num_sets = config.num_sets
+    cache = SetAssociativeCache(config, "dut")
+    stride = num_sets * LINE  # same set for every line
+    cache.insert(0 * stride, b"a" * LINE, now=5.0)
+    cache.insert(1 * stride, b"b" * LINE, now=5.0)
+    victim = cache.insert(2 * stride, b"c" * LINE, now=5.0)
+    assert victim is not None and victim.addr == 0
+    # Re-inserting a line moves it to the back of the tie-break order.
+    cache.invalidate(1 * stride)
+    cache.insert(1 * stride, b"b" * LINE, now=5.0)
+    victim = cache.insert(3 * stride, b"d" * LINE, now=5.0)
+    assert victim.addr == 2 * stride
