@@ -12,6 +12,11 @@ Commands
 ``compare``
     Run one microbenchmark under all eight designs and print the
     comparison (like ``examples/policy_comparison.py``).
+``faults``
+    Run the crash-consistency fault campaign: deterministic crash points
+    (micro-op retires, log drains, FWB scans, wrap forces, mid-recovery)
+    × fault types (none, torn log writes, ghost records) × policies,
+    verifying every surviving NVRAM image against the golden model.
 ``lifetime``
     Print the Section III-F NVRAM lifetime arithmetic for the configured
     log.
@@ -27,6 +32,7 @@ from .core.lifetime import log_pass_period_seconds, log_region_lifetime_days
 from .core.policy import Policy
 from .harness import experiments
 from .harness.cache import SweepCache, cache_enabled
+from .harness.parallel import SweepHealth
 from .harness.runner import RunConfig, prepare_workload, run_workload
 from .harness.sweep import run_micro_sweep
 from .workloads import MICROBENCHMARKS, make_microbenchmark
@@ -48,6 +54,11 @@ def _report_cache(cache) -> None:
         print(cache.summary())
 
 
+def _report_health(health) -> None:
+    if health is not None and health.degraded:
+        print(health.summary())
+
+
 def _cmd_tables(_args) -> int:
     for result in (
         experiments.table1_hardware_overhead(),
@@ -65,6 +76,7 @@ def _cmd_figure(args) -> int:
     threads = (1,) if quick else (1, 8)
     benchmarks = ("hash", "sps") if quick else tuple(MICROBENCHMARKS)
     cache = _sweep_cache(args)
+    health = SweepHealth()
     if args.id in ("6", "7", "8", "9"):
         sweep = run_micro_sweep(
             benchmarks=benchmarks,
@@ -72,6 +84,8 @@ def _cmd_figure(args) -> int:
             txns_per_thread=txns,
             jobs=args.jobs,
             cache=cache,
+            cell_timeout=args.cell_timeout,
+            health=health,
         )
         fn = {
             "6": experiments.figure6_throughput,
@@ -114,6 +128,7 @@ def _cmd_figure(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         return 2
     _report_cache(cache)
+    _report_health(health)
     return 0
 
 
@@ -141,6 +156,7 @@ def _cmd_validate(args) -> int:
     from .harness.validate import validate
 
     cache = _sweep_cache(args)
+    health = SweepHealth()
     if args.quick:
         sweep = run_micro_sweep(
             benchmarks=("hash", "sps"),
@@ -148,13 +164,32 @@ def _cmd_validate(args) -> int:
             txns_per_thread=80,
             jobs=args.jobs,
             cache=cache,
+            cell_timeout=args.cell_timeout,
+            health=health,
         )
     else:
         sweep = None
     report = validate(sweep=sweep, jobs=args.jobs, cache=cache)
     print(report.rendered)
     _report_cache(cache)
+    _report_health(health)
     return 0 if report.passed else 1
+
+
+def _cmd_faults(args) -> int:
+    from .faults import resolve_policies, run_fault_campaign
+
+    result = run_fault_campaign(
+        policies=resolve_policies(args.policy),
+        workload=args.workload,
+        points=args.points,
+        txns_per_thread=args.txns,
+        threads=args.threads,
+        seed=args.seed,
+        progress=print if args.verbose else None,
+    )
+    print(result.rendered)
+    return 0 if result.passed else 1
 
 
 def _cmd_lifetime(_args) -> int:
@@ -191,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="skip the on-disk sweep result cache (.repro_cache)",
         )
+        cmd.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-cell wait bound for parallel sweeps; hung workers "
+            "are terminated, the cell retried, then run serially",
+        )
 
     figure = sub.add_parser("figure")
     figure.add_argument("id", choices=["6", "7", "8", "9", "10", "11a", "11b"])
@@ -205,6 +248,28 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threads", type=int, default=1)
     compare.add_argument("--txns", type=int, default=200)
     compare.set_defaults(fn=_cmd_compare)
+    faults = sub.add_parser(
+        "faults",
+        help="crash-point × fault-type × policy consistency campaign",
+    )
+    faults.add_argument(
+        "--policy",
+        default="guaranteed",
+        help="'guaranteed' (default), 'all', or one design name (e.g. fwb)",
+    )
+    faults.add_argument(
+        "--workload", default="hash", choices=sorted(MICROBENCHMARKS)
+    )
+    faults.add_argument(
+        "--points", type=int, default=60, help="crash-point budget per policy"
+    )
+    faults.add_argument("--txns", type=int, default=60)
+    faults.add_argument("--threads", type=int, default=1)
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument(
+        "--verbose", action="store_true", help="print one line per policy"
+    )
+    faults.set_defaults(fn=_cmd_faults)
     sub.add_parser("lifetime").set_defaults(fn=_cmd_lifetime)
     validate_cmd = sub.add_parser("validate")
     validate_cmd.add_argument("--quick", action="store_true")

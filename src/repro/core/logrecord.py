@@ -41,6 +41,12 @@ from dataclasses import dataclass
 from ..errors import LogError
 
 MAGIC = 0xA5
+RESET_MAGIC = 0x3C
+"""Magic byte of the *reset marker* written to slot 0 while the log is
+being cleared after recovery.  Scanning treats a marker as "log empty",
+which makes the multi-entry reset crash-safe: a crash mid-reset leaves
+the marker in place, so a second recovery replays nothing instead of
+replaying a partially zeroed (and therefore misleading) window."""
 HEADER_BYTES = 32
 """Meaningful bytes of a record; the rest of the entry is padding."""
 
@@ -66,6 +72,41 @@ class RecordKind(enum.IntEnum):
     BEGIN = 1
     DATA = 2
     COMMIT = 3
+
+
+class DecodeStatus(enum.Enum):
+    """Why a log entry did or did not decode to a record.
+
+    Recovery uses the distinction to place torn entries (in-flight writes
+    partially applied at the crash) at the window boundary while merely
+    *corrupt* entries elsewhere are skipped and counted, instead of
+    silently truncating the valid window at the first bad slot.
+    """
+
+    OK = "ok"
+    EMPTY = "empty"          # magic byte absent: never written (or wiped)
+    CHECKSUM = "checksum"    # magic present but checksum mismatch: torn/corrupt
+    CORRUPT = "corrupt"      # checksum fine but fields impossible (bad size/kind)
+    RESET_MARKER = "reset"   # the crash-safe log-reset marker
+
+
+def reset_marker(entry_size: int) -> bytes:
+    """The reset-marker entry payload (all zeros except the magic)."""
+    if entry_size < HEADER_BYTES:
+        raise LogError(f"entry size {entry_size} below {HEADER_BYTES}")
+    buf = bytearray(entry_size)
+    buf[4] = RESET_MAGIC
+    buf[6] = _checksum(buf)
+    return bytes(buf)
+
+
+def is_reset_marker(raw: bytes) -> bool:
+    """True when ``raw`` holds a (checksum-valid) reset marker."""
+    return (
+        len(raw) >= HEADER_BYTES
+        and raw[4] == RESET_MAGIC
+        and _checksum(raw[:HEADER_BYTES]) == raw[6]
+    )
 
 
 @dataclass(frozen=True)
@@ -140,25 +181,41 @@ class LogRecord:
         return bytes(buf)
 
     @classmethod
-    def decode(cls, raw: bytes) -> "LogRecord | None":
+    def decode(cls, raw: bytes, verify_checksum: bool = True) -> "LogRecord | None":
         """Decode a log entry; returns None for never-written or torn
-        (checksum-failing) entries."""
+        (checksum-failing) entries.  ``verify_checksum=False`` decodes on
+        the magic byte alone (the paper's bare torn-bit scheme, with no
+        per-record integrity check)."""
+        record, _status = cls.classify(raw, verify_checksum)
+        return record
+
+    @classmethod
+    def classify(
+        cls, raw: bytes, verify_checksum: bool = True
+    ) -> "tuple[LogRecord | None, DecodeStatus]":
+        """Decode a log entry and report *why* when it does not decode.
+
+        Returns ``(record, status)``; ``record`` is None unless ``status``
+        is :attr:`DecodeStatus.OK`.
+        """
         if len(raw) < HEADER_BYTES:
             raise LogError(f"log entry of {len(raw)} bytes is too short")
         if raw[4] != MAGIC:
-            return None
-        if _checksum(raw[:HEADER_BYTES]) != raw[6]:
-            return None  # torn entry: partially written at a crash
+            if raw[4] == RESET_MAGIC:
+                return None, DecodeStatus.RESET_MARKER
+            return None, DecodeStatus.EMPTY
+        if verify_checksum and _checksum(raw[:HEADER_BYTES]) != raw[6]:
+            return None, DecodeStatus.CHECKSUM
         flags = raw[0]
         kind = RecordKind((flags >> 1) & 0x3)
         if kind == RecordKind.INVALID:
-            return None
+            return None, DecodeStatus.CORRUPT
         size = raw[5]
         if size > 8:
-            raise LogError(f"corrupt record: value size {size}")
+            return None, DecodeStatus.CORRUPT
         undo = bytes(raw[16:16 + size]) if flags & 0x8 else b""
         redo = bytes(raw[24:24 + size]) if flags & 0x10 else b""
-        return cls(
+        record = cls(
             kind=kind,
             txid=int.from_bytes(raw[1:3], "little"),
             tid=raw[3],
@@ -167,3 +224,4 @@ class LogRecord:
             redo=redo,
             torn=flags & 1,
         )
+        return record, DecodeStatus.OK

@@ -1,4 +1,4 @@
-"""Post-crash recovery (Section IV-F).
+"""Post-crash recovery (Section IV-F), hardened against damaged logs.
 
 Steps, mirroring the paper:
 
@@ -18,18 +18,36 @@ Steps, mirroring the paper:
 4. Recovery writes bypass the caches and go directly to NVRAM; the log is
    then reset.
 
-Entries are written atomically by the simulated memory controller, so a
-partially-written ("torn") entry cannot occur here; the torn bit's role
-is window detection, as in the paper's recovery discussion.
+Damaged-log hardening (beyond the paper's discussion):
+
+* **Torn entries.**  A log-entry write in flight at the crash may reach
+  NVRAM partially.  Entries are classified via the per-record checksum
+  (:meth:`~repro.core.logrecord.LogRecord.classify`); a checksum-failing
+  entry at the parity frontier is the torn tail and ends the window
+  (``torn_records_skipped``).  Dropping it is always safe: the record was
+  not durable, and the designs order every record durable *before* its
+  data, so a crash one instant earlier would have produced the same log.
+* **Corrupt entries.**  A checksum or field failure *inside* the window
+  (valid same-parity records follow it) or in the previous-pass remnant
+  is counted in ``checksum_failures`` and skipped instead of silently
+  truncating the window at the first bad slot.
+* **Crash during recovery.**  Replay writes absolute values, so re-running
+  an interrupted replay converges; the log reset is made crash-safe by
+  first stamping slot 0 with a :func:`~repro.core.logrecord.reset_marker`
+  (scanned as "region empty"), then clearing the rest, then clearing the
+  marker.  A campaign can interrupt recovery deterministically by passing
+  a ``crash_injector`` whose ``recovery_step()`` raises
+  :class:`~repro.errors.RecoveryInterrupted` between NVRAM writes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..errors import RecoveryError
 from ..sim.nvram import NVRAM
-from .logrecord import LogRecord, RecordKind
+from .logrecord import DecodeStatus, LogRecord, RecordKind, reset_marker
 from .nvlog import CircularLog
 
 
@@ -38,6 +56,8 @@ class _Instance:
     """One transaction instance reconstructed from the log window."""
 
     txid: int
+    tid: int = 0
+    last_pos: int = -1
     records: list[LogRecord] = field(default_factory=list)
     committed: bool = False
 
@@ -52,22 +72,57 @@ class RecoveryReport:
     uncommitted_instances: int = 0
     redo_writes: int = 0
     undo_writes: int = 0
+    torn_records_skipped: int = 0
+    checksum_failures: int = 0
+    reset_markers_seen: int = 0
+    commits_inferred: int = 0
+    """Open instances whose COMMIT record was lost to log damage but that
+    a later record of the same thread proves finished (a thread runs one
+    transaction at a time) — replayed as committed instead of undone."""
+    committed_ids: set = field(default_factory=set)
+    """``(tid, physical txid)`` of each transaction the replay treated as
+    committed — for its *newest* instance in the window (physical IDs are
+    recycled).  Crash verifiers use this to resolve in-doubt transactions
+    (crash inside the commit sequence): the transaction counts as
+    committed exactly when its IDs appear here."""
 
     @property
     def total_writes(self) -> int:
         """NVRAM writes generated during replay."""
         return self.redo_writes + self.undo_writes
 
+    @property
+    def damaged_records(self) -> int:
+        """Entries the scan refused to replay (torn tail + corruption)."""
+        return self.torn_records_skipped + self.checksum_failures
+
 
 class RecoveryManager:
-    """Replays the circular log against a surviving NVRAM image."""
+    """Replays the circular log against a surviving NVRAM image.
 
-    def __init__(self, nvram: NVRAM, log: CircularLog) -> None:
+    ``verify_checksums=False`` falls back to the paper's bare scheme
+    (magic byte + torn bit only, no per-record integrity check) — useful
+    for demonstrating what torn or ghost entries do to an unchecked
+    recovery.
+    """
+
+    def __init__(
+        self,
+        nvram: NVRAM,
+        log: CircularLog,
+        verify_checksums: bool = True,
+    ) -> None:
         self._nvram = nvram
         self._log = log
+        self._verify_checksums = verify_checksums
 
     @classmethod
-    def from_directory(cls, nvram: NVRAM, directory_addr: int) -> "RecoveryManager":
+    def from_directory(
+        cls,
+        nvram: NVRAM,
+        directory_addr: int,
+        verify_checksums: bool = True,
+    ) -> "RecoveryManager":
         """Rebuild a manager from the persistent region directory written
         by a :class:`~repro.core.growlog.GrowableCircularLog` — the path a
         cold-restart recovery tool takes when only the NVRAM image
@@ -79,7 +134,7 @@ class RecoveryManager:
             raise RecoveryError("no log region directory in NVRAM")
         entry_size, regions = directory
         logs = [CircularLog(base, entries, entry_size) for base, entries in regions]
-        manager = cls(nvram, logs[-1])
+        manager = cls(nvram, logs[-1], verify_checksums)
         manager._log_views = logs
         return manager
 
@@ -92,55 +147,188 @@ class RecoveryManager:
             return views
         return self._log.region_views()
 
-    def scan_window(self) -> list[LogRecord]:
+    def scan_window(self, report: Optional[RecoveryReport] = None) -> list[LogRecord]:
         """Decode the valid window, oldest record first.
 
         With a grown log, frozen regions are scanned before the active
-        one (creation order = history order).
+        one (creation order = history order).  Damage counters go into
+        ``report`` when one is passed.
         """
+        if report is None:
+            report = RecoveryReport()
         window: list[LogRecord] = []
         for view in self._views():
-            window.extend(self._scan_region(view))
+            window.extend(self._scan_region(view, report))
         return window
 
-    def _scan_region(self, log) -> list[LogRecord]:
+    def _scan_region(self, log, report: RecoveryReport) -> list[LogRecord]:
         entries: list = []
         for slot in range(log.num_entries):
             raw = self._nvram.peek(log.entry_addr(slot), log.entry_size)
-            entries.append(LogRecord.decode(raw))
-        first = entries[0]
-        if first is None:
+            entries.append(LogRecord.classify(raw, self._verify_checksums))
+        first, first_status = entries[0]
+        if first_status is DecodeStatus.RESET_MARKER:
+            # Crash mid-reset: replay nothing; recover() re-runs the
+            # reset so leftover stale entries cannot resurface later.
+            report.reset_markers_seen += 1
             return []
-        parity = first.torn
-        boundary = log.num_entries
-        for slot in range(1, log.num_entries):
-            record = entries[slot]
-            if record is None or record.torn != parity:
-                boundary = slot
+        if first_status is DecodeStatus.EMPTY:
+            return []
+        # Log writes drain FIFO, so durability is always a *prefix* of
+        # append order and in-flight damage (torn entries, or entries
+        # reverted to their previous-pass content) clusters at the append
+        # frontier — never past it.  The last valid record in slot order
+        # therefore always carries the OLD pass's torn parity, which
+        # anchors the rest of the scan.  A valid record of the *newer*
+        # parity in a position FIFO says cannot be durable is a
+        # resurrected tear: an in-flight all-header record (BEGIN/COMMIT)
+        # that kept its whole header through a torn write and still
+        # checksums.  Such records are dropped, not replayed — they were
+        # never durable, their transaction's data never left the caches
+        # (data write-back waits on log durability), and wrap protection
+        # already forced the displaced slot's data durable.
+        old_parity = None
+        for record, _status in reversed(entries):
+            if record is not None:
+                old_parity = record.torn
                 break
-        current_pass = [record for record in entries[:boundary] if record is not None]
-        previous_pass = [
+        if old_parity is None:
+            # Slot 0 is damaged and no valid record survives anywhere.
+            report.torn_records_skipped += 1
+            return []
+        if first is None:
+            # Slot 0 itself is torn or corrupt: its in-flight overwrite
+            # means no current-pass record is durable, so the window is
+            # exactly the previous-pass remnant in slot order.
+            report.torn_records_skipped += 1
+            remnant = []
+            for record, status in entries[1:]:
+                if record is not None:
+                    if record.torn == old_parity:
+                        remnant.append(record)
+                    else:
+                        report.torn_records_skipped += 1
+                elif status in (DecodeStatus.CHECKSUM, DecodeStatus.CORRUPT):
+                    report.checksum_failures += 1
+            return remnant
+        if first.torn == old_parity:
+            # Slot 0 belongs to the oldest surviving pass: either the
+            # ring never durably wrapped, or the crash reverted the wrap
+            # itself (every newer-pass write was still in flight).  One
+            # pass, slot order = history order.
+            return self._scan_single_pass(entries, old_parity, report)
+        return self._scan_two_pass(entries, first.torn, report)
+
+    def _scan_single_pass(
+        self, entries: list, parity: int, report: RecoveryReport
+    ) -> list[LogRecord]:
+        window: list[LogRecord] = []
+        for index, (record, status) in enumerate(entries):
+            if record is not None:
+                if record.torn == parity:
+                    window.append(record)
+                else:
+                    report.torn_records_skipped += 1
+                continue
+            if status is DecodeStatus.RESET_MARKER:
+                report.reset_markers_seen += 1
+                break
+            if status is DecodeStatus.EMPTY:
+                break
+            # Torn or corrupt: mid-window corruption if valid same-pass
+            # records follow; the torn append frontier otherwise.
+            if any(
+                later is not None and later.torn == parity
+                for later, _status in entries[index + 1:]
+            ):
+                report.checksum_failures += 1
+            else:
+                report.torn_records_skipped += 1
+                break
+        return window
+
+    def _scan_two_pass(
+        self, entries: list, parity: int, report: RecoveryReport
+    ) -> list[LogRecord]:
+        # ``parity`` is the current (newest) pass; the durable part of
+        # that pass is a contiguous run from slot 0.  The run ends at the
+        # first old-parity record (the wrap boundary or a reverted
+        # in-flight slot — either way the durable prefix is over), at an
+        # empty slot, or at the torn append frontier.
+        num = len(entries)
+        boundary = num
+        index = 1
+        while index < num:
+            record, status = entries[index]
+            if record is not None:
+                if record.torn != parity:
+                    boundary = index
+                    break
+                index += 1
+                continue
+            if status in (DecodeStatus.EMPTY, DecodeStatus.RESET_MARKER):
+                if status is DecodeStatus.RESET_MARKER:
+                    report.reset_markers_seen += 1
+                boundary = index
+                break
+            # Torn or corrupt: mid-window corruption iff the next valid
+            # record continues the current pass; the frontier otherwise.
+            nxt = next(
+                (r for r, _s in entries[index + 1:] if r is not None), None
+            )
+            if nxt is not None and nxt.torn == parity:
+                report.checksum_failures += 1
+                index += 1
+                continue
+            report.torn_records_skipped += 1
+            boundary = index
+            break
+        current_pass = [
             record
-            for record in entries[boundary:]
-            if record is not None and record.torn != parity
+            for record, _status in entries[:boundary]
+            if record is not None and record.torn == parity
         ]
+        previous_pass = []
+        for record, status in entries[boundary:]:
+            if record is not None:
+                if record.torn != parity:
+                    previous_pass.append(record)
+                else:
+                    # Current-parity record past the frontier: a
+                    # resurrected tear, non-durable by FIFO order.
+                    report.torn_records_skipped += 1
+            elif status in (DecodeStatus.CHECKSUM, DecodeStatus.CORRUPT):
+                report.checksum_failures += 1
         return previous_pass + current_pass
 
     # ------------------------------------------------------------------
     # Replay
     # ------------------------------------------------------------------
-    def recover(self, reset_log: bool = True) -> RecoveryReport:
-        """Replay the log; optionally clear it afterwards."""
-        window = self.scan_window()
+    def recover(
+        self,
+        reset_log: bool = True,
+        crash_injector=None,
+    ) -> RecoveryReport:
+        """Replay the log; optionally clear it afterwards.
+
+        ``crash_injector`` (a :class:`~repro.faults.crashpoints
+        .FaultMonitor` or anything with a ``recovery_step()`` method) is
+        consulted after every recovery NVRAM write and may raise
+        :class:`~repro.errors.RecoveryInterrupted` to simulate a crash
+        mid-recovery; a subsequent full :meth:`recover` converges to the
+        same state as an uninterrupted one.
+        """
         report = RecoveryReport(
-            records_scanned=self._log.num_entries, window_entries=len(window)
+            records_scanned=sum(view.num_entries for view in self._views())
         )
+        window = self.scan_window(report)
+        report.window_entries = len(window)
         open_instances: dict[int, _Instance] = {}
         ordered: list[_Instance] = []
 
-        for record in window:
+        for pos, record in enumerate(window):
             if record.kind == RecordKind.BEGIN:
-                instance = _Instance(record.txid)
+                instance = _Instance(record.txid, record.tid, pos)
                 open_instances[record.txid] = instance
                 ordered.append(instance)
             elif record.kind == RecordKind.DATA:
@@ -148,16 +336,44 @@ class RecoveryManager:
                 if instance is None:
                     # Head of this transaction was overwritten; any record
                     # still here belongs to the newest suffix of history.
-                    instance = _Instance(record.txid)
+                    instance = _Instance(record.txid, record.tid, pos)
                     open_instances[record.txid] = instance
                     ordered.append(instance)
                 instance.records.append(record)
             elif record.kind == RecordKind.COMMIT:
                 instance = open_instances.pop(record.txid, None)
                 if instance is None:
-                    instance = _Instance(record.txid)
+                    instance = _Instance(record.txid, record.tid, pos)
                     ordered.append(instance)
                 instance.committed = True
+            instance.tid = record.tid
+            instance.last_pos = pos
+
+        # Lost-COMMIT inference: a thread runs one transaction at a time,
+        # so an open instance followed by a *later* record of the same
+        # thread necessarily finished — its COMMIT record was destroyed
+        # (torn overwrite) or overwritten by the wrap.  Replaying it as
+        # committed is the only sound choice: its durable data must not
+        # be rolled back.  Truly in-flight transactions sit at the append
+        # frontier, have no same-thread successor, and are still undone.
+        newest_tid_pos: dict[int, int] = {}
+        for pos, record in enumerate(window):
+            newest_tid_pos[record.tid] = pos
+        for instance in ordered:
+            if instance.committed:
+                continue
+            if newest_tid_pos.get(instance.tid, -1) > instance.last_pos:
+                instance.committed = True
+                report.commits_inferred += 1
+
+        # Commit state of the *newest* instance per (tid, physical txid):
+        # a fresh BEGIN for recycled IDs supersedes an older commit.
+        final_state: dict[tuple[int, int], bool] = {}
+        for instance in ordered:
+            final_state[(instance.tid, instance.txid)] = instance.committed
+        report.committed_ids = {
+            ids for ids, done in final_state.items() if done
+        }
 
         # Forward pass: redo committed instances in log order.
         for instance in ordered:
@@ -166,7 +382,7 @@ class RecoveryManager:
             report.committed_instances += 1
             for record in instance.records:
                 if record.has_redo:
-                    self._nvram.poke(record.addr, record.redo)
+                    self._recovery_write(record.addr, record.redo, crash_injector)
                     report.redo_writes += 1
 
         # Reverse pass: undo uncommitted instances, newest record first.
@@ -176,20 +392,46 @@ class RecoveryManager:
             report.uncommitted_instances += 1
             for record in reversed(instance.records):
                 if record.has_undo:
-                    self._nvram.poke(record.addr, record.undo)
+                    self._recovery_write(record.addr, record.undo, crash_injector)
                     report.undo_writes += 1
 
         if reset_log:
-            self._reset_log()
+            self._reset_log(crash_injector)
         return report
 
-    def _reset_log(self) -> None:
-        """Invalidate every entry and reset the ring(s) to a fresh state."""
+    def _recovery_write(self, addr: int, data: bytes, crash_injector) -> None:
+        self._nvram.poke(addr, data)
+        if crash_injector is not None:
+            crash_injector.recovery_step()
+
+    def _reset_log(self, crash_injector=None) -> None:
+        """Invalidate every entry and reset the ring(s) to a fresh state.
+
+        The multi-write reset is crash-safe: slot 0 is first stamped with
+        the reset marker (a region whose slot 0 holds the marker scans as
+        empty), the remaining entries are cleared, and the marker is
+        cleared last.  A crash anywhere in between leaves either a fully
+        valid window (marker not yet durable — but slot 0 is always the
+        first write, so only a torn marker is possible, which classify
+        treats as a torn slot 0 over an otherwise intact window) or a
+        marked-empty region; a second recovery converges either way.
+        """
         for view in self._views():
+            marker = reset_marker(view.entry_size)
             zero = bytes(view.entry_size)
-            for slot in range(view.num_entries):
-                self._nvram.poke(view.entry_addr(slot), zero)
-        self._log.tail = 0
-        self._log.head = 0
-        self._log.parity = 1
-        self._log.wrapped = False
+            self._recovery_write(view.entry_addr(0), marker, crash_injector)
+            for slot in range(1, view.num_entries):
+                self._recovery_write(view.entry_addr(slot), zero, crash_injector)
+            self._recovery_write(view.entry_addr(0), zero, crash_injector)
+        # Reset the in-memory ring state on every view — frozen grown
+        # regions and directory-reconstructed views included, so a
+        # manager built via from_directory leaves no stale tail/parity
+        # behind on any region object a caller may keep using.
+        views = list(self._views())
+        if self._log not in views:
+            views.append(self._log)
+        for view in views:
+            view.tail = 0
+            view.head = 0
+            view.parity = 1
+            view.wrapped = False

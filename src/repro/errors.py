@@ -31,6 +31,36 @@ class RecoveryError(ReproError):
     """The recovery manager found an unrecoverable log state."""
 
 
+class RecoveryInterrupted(ReproError):
+    """A simulated crash fired in the middle of a recovery pass.
+
+    Raised by :class:`~repro.core.recovery.RecoveryManager` when a fault
+    campaign's crash injector trips between recovery writes; the NVRAM
+    image is left exactly as the partial recovery made it, and a second
+    recovery pass must converge to the same state as an uninterrupted one.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan is malformed or targets an invalid range."""
+
+
+class SimulatedCrash(ReproError):
+    """A fault campaign's crash point fired during execution.
+
+    Raised out of :meth:`~repro.sim.machine.Machine.execute` by an
+    installed :class:`~repro.faults.crashpoints.FaultMonitor` the moment
+    its trigger event occurs.  The driver catches it and calls
+    :meth:`~repro.sim.machine.Machine.crash` with :attr:`at_time`.
+    """
+
+    def __init__(self, kind: str, index: int, at_time: float) -> None:
+        super().__init__(f"simulated crash at {kind}[{index}] t={at_time:.1f}")
+        self.kind = kind
+        self.index = index
+        self.at_time = at_time
+
+
 class SimulationError(ReproError):
     """Internal simulator invariant violated."""
 

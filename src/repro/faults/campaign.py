@@ -1,0 +1,636 @@
+"""Structured fault-injection campaigns over crash points × faults × policies.
+
+A campaign answers the paper's central question — "is a crash at *any*
+instant recoverable?" — systematically instead of by sampling wall-clock
+fractions.  For each policy it:
+
+1. **Profiles** one deterministic run of the workload to learn how many
+   events of each kind (micro-op retires, log-buffer drains, FWB scans,
+   log-wrap forces) the configuration generates, and where the recovery
+   pass writes.
+2. **Enumerates** crash points against those totals — evenly spread
+   event indices per kind, plus torn-write and ghost-record fault
+   variants, plus crash-*during-recovery* points (first crash mid-run,
+   second crash between recovery writes).
+3. **Replays** the run once per point, crashes at the event, injects the
+   point's faults, recovers (checksums on), and compares the surviving
+   NVRAM against the golden committed state at the crash instant.
+
+Every point is a pure function of (workload, seed, policy, point), so a
+verdict table is reproducible bit-for-bit.  Guaranteed designs (fwb,
+hwl, undo-clwb, redo-clwb) must show **zero** violations; unguaranteed
+designs (unsafe-base, hw-rlog, hw-ulog) are expected to violate — the
+campaign labels their verdicts accordingly rather than failing.
+
+Mid-recovery points additionally assert *convergence*: the NVRAM image
+after crash → interrupted recovery → full recovery must be bit-identical
+to the image after a single uninterrupted recovery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.nvlog import CircularLog
+from ..core.policy import Policy
+from ..core.recovery import RecoveryManager
+from ..errors import RecoveryInterrupted, SimulatedCrash, WorkloadError
+from ..harness.runner import PreparedWorkload, prepare_workload
+from ..sim.config import (
+    CacheConfig,
+    CoreConfig,
+    LoggingConfig,
+    MemCtrlConfig,
+    NVDimmConfig,
+    SystemConfig,
+)
+from ..sim.machine import Machine
+from ..sim.nvram import NVRAM
+from ..txn.runtime import PersistentMemory
+from ..workloads import make_microbenchmark
+from ..workloads.base import Workload
+from .crashpoints import CrashPoint, EventKind, FaultMonitor, sample_indices
+from .plan import FaultInjector, GhostRecord, TornWrite
+
+#: The four designs the paper guarantees recoverability for.
+GUARANTEED_POLICIES = (Policy.FWB, Policy.HWL, Policy.UNDO_CLWB, Policy.REDO_CLWB)
+
+#: Designs the campaign may run but which promise nothing.
+UNGUARANTEED_POLICIES = (Policy.UNSAFE_BASE, Policy.HW_RLOG, Policy.HW_ULOG)
+
+FAULT_NONE = "none"
+FAULT_TORN = "torn"
+FAULT_GHOST = "ghost"
+
+#: Small-footprint constructor overrides per microbenchmark so a campaign
+#: cell runs in well under a second on the tiny campaign machine.
+_SMALL_WORKLOADS: Dict[str, dict] = {
+    "hash": dict(buckets_per_partition=16, keys_per_partition=64),
+    "rbtree": dict(keys_per_partition=128),
+    "btree": dict(keys_per_partition=128),
+    "sps": dict(entries_per_partition=512),
+    "ssca2": dict(vertices_per_partition=64, initial_edges_per_vertex=4),
+}
+
+
+def default_campaign_system(log_entries: int = 128) -> SystemConfig:
+    """A miniature machine for campaigns: 2 cores, 4 MB NVRAM, small log.
+
+    A small ring wraps within a short run, so the campaign exercises
+    wrap-protection and parity-boundary scanning without long runs.
+    """
+    return SystemConfig(
+        num_cores=2,
+        core=CoreConfig(),
+        l1=CacheConfig(size_bytes=4 * 1024, ways=4, line_size=64, latency_ns=1.6),
+        llc=CacheConfig(size_bytes=32 * 1024, ways=8, line_size=64, latency_ns=4.4),
+        memctrl=MemCtrlConfig(),
+        nvram=NVDimmConfig(size_bytes=4 * 1024 * 1024),
+        logging=LoggingConfig(log_entries=log_entries),
+    )
+
+
+def campaign_workload(name: str, seed: int) -> Workload:
+    """A small-footprint instance of microbenchmark ``name``."""
+    return make_microbenchmark(name, seed=seed, **_SMALL_WORKLOADS.get(name, {}))
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One campaign cell: crash at an event occurrence, with a fault."""
+
+    kind: EventKind
+    index: int
+    fault: str = FAULT_NONE
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name (stable across runs)."""
+        suffix = "" if self.fault == FAULT_NONE else f"+{self.fault}"
+        return f"{self.kind.value}[{self.index}]{suffix}"
+
+
+@dataclass
+class PointResult:
+    """Outcome of one fault point under one policy."""
+
+    point: FaultPoint
+    crash_time: float
+    triggered: bool
+    mismatches: int
+    torn_records_skipped: int = 0
+    checksum_failures: int = 0
+    fault_applied: bool = False
+    recovery_interrupted: bool = False
+    converged: bool = True
+
+    @property
+    def consistent(self) -> bool:
+        """True when recovery reproduced the golden committed state."""
+        return self.mismatches == 0 and self.converged
+
+
+@dataclass
+class PolicyReport:
+    """All point outcomes for one policy."""
+
+    policy: Policy
+    points: List[PointResult] = field(default_factory=list)
+
+    @property
+    def guaranteed(self) -> bool:
+        """Whether the design promises crash consistency at all."""
+        return self.policy.persistence_guaranteed
+
+    @property
+    def violations(self) -> List[PointResult]:
+        """Points where recovery failed to reproduce the golden state."""
+        return [result for result in self.points if not result.consistent]
+
+    @property
+    def consistent(self) -> bool:
+        """True when every point recovered to the golden state."""
+        return not self.violations
+
+    @property
+    def torn_records_skipped(self) -> int:
+        """Total torn records the scans rejected across all points."""
+        return sum(result.torn_records_skipped for result in self.points)
+
+    @property
+    def checksum_failures(self) -> int:
+        """Total mid-window corrupt records skipped across all points."""
+        return sum(result.checksum_failures for result in self.points)
+
+    @property
+    def verdict(self) -> str:
+        """One-word verdict, qualified for unguaranteed designs."""
+        if self.consistent:
+            return "CONSISTENT"
+        if not self.guaranteed:
+            return "VIOLATED (expected: no guarantee)"
+        return "VIOLATED"
+
+
+@dataclass
+class CampaignResult:
+    """Verdict matrix of one campaign."""
+
+    workload: str
+    txns_per_thread: int
+    threads: int
+    seed: int
+    reports: List[PolicyReport] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no *guaranteed* policy shows a violation."""
+        return all(
+            report.consistent for report in self.reports if report.guaranteed
+        )
+
+    @property
+    def total_points(self) -> int:
+        """Points executed across all policies."""
+        return sum(len(report.points) for report in self.reports)
+
+    @property
+    def rendered(self) -> str:
+        """Terminal verdict table plus a per-kind breakdown."""
+        lines = [
+            f"fault campaign: workload={self.workload} "
+            f"txns={self.txns_per_thread} threads={self.threads} "
+            f"seed={self.seed}",
+            f"{'policy':12s} {'points':>6s} {'violations':>10s} "
+            f"{'torn-skip':>9s} {'cksum-fail':>10s}  verdict",
+        ]
+        for report in self.reports:
+            lines.append(
+                f"{report.policy.value:12s} {len(report.points):6d} "
+                f"{len(report.violations):10d} "
+                f"{report.torn_records_skipped:9d} "
+                f"{report.checksum_failures:10d}  {report.verdict}"
+            )
+        for report in self.reports:
+            if not report.violations:
+                continue
+            shown = ", ".join(v.point.label for v in report.violations[:6])
+            more = len(report.violations) - 6
+            if more > 0:
+                shown += f", … +{more}"
+            lines.append(f"  {report.policy.value}: failing points: {shown}")
+        lines.append(
+            f"{self.total_points} point(s) total; campaign "
+            f"{'PASSED' if self.passed else 'FAILED'}"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Point enumeration
+# ----------------------------------------------------------------------
+#: Relative share of the point budget per (kind, fault) stream.  RETIRE
+#: points dominate (they cover arbitrary instants); event-specific kinds
+#: and fault variants each get a slice.
+_BUDGET_SHARES: Tuple[Tuple[EventKind, str, float], ...] = (
+    (EventKind.RETIRE, FAULT_NONE, 0.34),
+    (EventKind.LOG_DRAIN, FAULT_NONE, 0.16),
+    (EventKind.FWB_SCAN, FAULT_NONE, 0.08),
+    (EventKind.WRAP_FORCE, FAULT_NONE, 0.06),
+    (EventKind.RECOVERY, FAULT_NONE, 0.12),
+    (EventKind.RETIRE, FAULT_TORN, 0.16),
+    (EventKind.RETIRE, FAULT_GHOST, 0.08),
+)
+
+
+def enumerate_points(
+    event_totals: Dict[EventKind, int],
+    recovery_steps: int,
+    budget: int = 60,
+) -> List[FaultPoint]:
+    """Deterministic crash/fault points against profiled event totals.
+
+    Budget shares that land on event streams the configuration never
+    generates (e.g. FWB scans under a software design) are dropped; the
+    RETIRE streams absorb the slack so the total stays near ``budget``.
+    """
+    points: List[FaultPoint] = []
+    spent = 0
+    for kind, fault, share in _BUDGET_SHARES:
+        slice_budget = max(1, round(budget * share))
+        total = recovery_steps if kind is EventKind.RECOVERY else event_totals.get(kind, 0)
+        indices = sample_indices(total, slice_budget)
+        points.extend(FaultPoint(kind, index, fault) for index in indices)
+        spent += len(indices)
+    shortfall = budget - spent
+    if shortfall > 0:
+        # Densify the plain RETIRE stream with indices not yet taken.
+        taken = {
+            p.index for p in points
+            if p.kind is EventKind.RETIRE and p.fault == FAULT_NONE
+        }
+        total = event_totals.get(EventKind.RETIRE, 0)
+        extra = [
+            index
+            for index in sample_indices(total, len(taken) + 2 * shortfall)
+            if index not in taken
+        ]
+        points.extend(
+            FaultPoint(EventKind.RETIRE, index) for index in extra[:shortfall]
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Single-point execution
+# ----------------------------------------------------------------------
+def _drive(machine: Machine, generators: Sequence) -> None:
+    """Advance generators fairly (laggard core first) until exhausted.
+
+    A :class:`~repro.errors.SimulatedCrash` from an armed fault monitor
+    propagates to the caller.
+    """
+    ready = [(machine.core_time(tid), tid) for tid in range(len(generators))]
+    heapq.heapify(ready)
+    while ready:
+        _, tid = heapq.heappop(ready)
+        try:
+            next(generators[tid])
+        except StopIteration:
+            continue
+        heapq.heappush(ready, (machine.core_time(tid), tid))
+
+
+def _fresh_run(
+    prepared: PreparedWorkload,
+    policy: Policy,
+    threads: int,
+    txns_per_thread: int,
+    monitor: Optional[FaultMonitor],
+    injector: Optional[FaultInjector] = None,
+) -> Tuple[Machine, PersistentMemory, Optional[SimulatedCrash]]:
+    """Run the prepared workload under ``policy`` until completion or crash."""
+    machine = Machine(prepared.system, policy)
+    machine.fault_monitor = monitor
+    if injector is not None:
+        machine.nvram.injector = injector
+    pm = PersistentMemory(machine)
+    workload = prepared.workload
+    prepared.restore_into(machine)
+    pm.heap.restore(prepared.heap_state)
+    workload.attach(pm)
+    generators = [
+        workload.thread_body(pm.api(core_id=tid, tid=tid), tid, txns_per_thread)
+        for tid in range(threads)
+    ]
+    try:
+        _drive(machine, generators)
+    except SimulatedCrash as crash:
+        return machine, pm, crash
+    return machine, pm, None
+
+
+def _find_empty_slot(nvram: NVRAM, log: CircularLog) -> Optional[int]:
+    """First never-written (all-zero) slot of the active region, if any."""
+    zero = bytes(log.entry_size)
+    for slot in range(log.num_entries):
+        if nvram.peek(log.entry_addr(slot), log.entry_size) == zero:
+            return slot
+    return None
+
+
+def _candidate_states(pm: PersistentMemory, crash_time: float) -> List[dict]:
+    """Acceptable golden images at the crash: one per in-doubt outcome.
+
+    Three classes of transaction at a crash:
+
+    * commits with ``durable <= crash_time`` — mandatory in every
+      candidate (their commit record survived by construction);
+    * commits whose durable time lies *after* the crash — the program
+      issued the commit record but it was still in flight; a torn write
+      may have persisted enough of it (commit records are all-header) to
+      be valid, so recovery may commit or drop them.  The log drains
+      FIFO, so only order-respecting prefixes of these are possible;
+    * transactions staged mid-commit-sequence (the program never
+      observed an outcome) — individually in doubt.
+
+    What is never acceptable is a partial application, which matches no
+    candidate."""
+    mandatory: dict = {}
+    optional: List[dict] = []
+    for durable, writes in sorted(pm.golden.commits, key=lambda item: item[0]):
+        if durable <= crash_time:
+            mandatory.update(writes)
+        else:
+            optional.append(writes)
+    candidates = []
+    for depth in range(len(optional) + 1):
+        image = dict(mandatory)
+        for writes in optional[:depth]:
+            image.update(writes)
+        candidates.append(image)
+    for _physical, writes in pm.golden.staged.values():
+        extended = []
+        for image in candidates:
+            with_tx = dict(image)
+            with_tx.update(writes)
+            extended.append(with_tx)
+        candidates.extend(extended)
+    return candidates
+
+
+def _count_mismatches(nvram: NVRAM, pm: PersistentMemory, crash_time: float) -> int:
+    """Word pieces off from the *closest* acceptable golden image."""
+    touched = pm.golden.touched_addresses()
+    best = None
+    for expected in _candidate_states(pm, crash_time):
+        wrong = 0
+        for addr in touched | set(expected):
+            want = expected.get(addr)
+            if want is None:
+                continue  # written only by post-crash transactions
+            if nvram.peek(addr, len(want)) != want:
+                wrong += 1
+        if best is None or wrong < best:
+            best = wrong
+        if best == 0:
+            break
+    return best or 0
+
+
+def _torn_injector(system: SystemConfig) -> FaultInjector:
+    """Tear up to two in-flight log-region writes at the crash."""
+    log_base = system.nvram.size_bytes - system.logging.log_bytes
+    return FaultInjector(
+        [
+            TornWrite(
+                base=log_base,
+                end=system.nvram.size_bytes,
+                keep_words=2,
+                max_tears=2,
+            )
+        ]
+    )
+
+
+def _run_execution_point(
+    prepared: PreparedWorkload,
+    policy: Policy,
+    point: FaultPoint,
+    threads: int,
+    txns_per_thread: int,
+) -> PointResult:
+    """Crash at an execution event, optionally injure the log, recover."""
+    injector = None
+    if point.fault == FAULT_TORN:
+        injector = _torn_injector(prepared.system)
+    monitor = FaultMonitor(CrashPoint(point.kind, point.index))
+    machine, pm, crash = _fresh_run(
+        prepared, policy, threads, txns_per_thread, monitor, injector
+    )
+    if crash is not None:
+        crash_time = machine.crash_at_point(crash)
+    else:  # point beyond the run's events (profile drift): crash at end
+        crash_time = machine.crash()
+    fault_applied = injector is not None and injector.tears_applied > 0
+    if point.fault == FAULT_GHOST:
+        slot = _find_empty_slot(machine.nvram, machine.log)
+        if slot is not None:
+            ghost = FaultInjector(
+                [
+                    GhostRecord(
+                        slot_addr=machine.log.entry_addr(slot),
+                        entry_size=machine.log.entry_size,
+                        seed=point.index,
+                    )
+                ]
+            )
+            ghost.corrupt_image(machine.nvram)
+            fault_applied = True
+    machine.nvram.injector = None  # recovery sees the damaged image as-is
+    report = RecoveryManager(machine.nvram, machine.log).recover()
+    return PointResult(
+        point=point,
+        crash_time=crash_time,
+        triggered=crash is not None,
+        mismatches=_count_mismatches(machine.nvram, pm, crash_time),
+        torn_records_skipped=report.torn_records_skipped,
+        checksum_failures=report.checksum_failures,
+        fault_applied=fault_applied,
+    )
+
+
+@dataclass
+class _RecoveryScenario:
+    """Shared state for the crash-during-recovery points of one policy.
+
+    Built once per policy: the workload is crashed at a fixed mid-run
+    point and the surviving image snapshotted; a clean single recovery
+    of that snapshot provides the convergence reference.
+    """
+
+    image: bytes
+    crash_time: float
+    golden_pm: PersistentMemory
+    log_geometry: Tuple[int, int, int]  # base, entries, entry_size
+    reference_image: bytes
+    reference_report: object
+    steps: int
+
+    def cold_manager(self, nvram: NVRAM) -> RecoveryManager:
+        """A manager the way a cold restart would build it."""
+        base, entries, entry_size = self.log_geometry
+        return RecoveryManager(nvram, CircularLog(base, entries, entry_size))
+
+
+def _build_recovery_scenario(
+    prepared: PreparedWorkload,
+    policy: Policy,
+    threads: int,
+    txns_per_thread: int,
+    retire_total: int,
+) -> Optional[_RecoveryScenario]:
+    """Crash mid-run, snapshot, and profile/reference the recovery pass."""
+    if retire_total <= 0:
+        return None
+    mid = CrashPoint(EventKind.RETIRE, max(0, (retire_total * 3) // 5))
+    monitor = FaultMonitor(mid)
+    machine, pm, crash = _fresh_run(prepared, policy, threads, txns_per_thread, monitor)
+    crash_time = machine.crash_at_point(crash) if crash is not None else machine.crash()
+    image = bytes(machine.nvram.image)
+    log = machine.log
+    geometry = (log.base, log.num_entries, log.entry_size)
+
+    # Counting pass doubles as the convergence reference.
+    reference = NVRAM(prepared.system.nvram, track_crash_state=False)
+    reference.image[: len(image)] = image
+    counter = FaultMonitor()
+    reference_report = RecoveryManager(reference, CircularLog(*geometry)).recover(
+        crash_injector=counter
+    )
+    return _RecoveryScenario(
+        image=image,
+        crash_time=crash_time,
+        golden_pm=pm,
+        log_geometry=geometry,
+        reference_image=bytes(reference.image),
+        reference_report=reference_report,
+        steps=counter.counts[EventKind.RECOVERY],
+    )
+
+
+def _run_recovery_point(
+    scenario: _RecoveryScenario,
+    system: SystemConfig,
+    point: FaultPoint,
+) -> PointResult:
+    """Interrupt recovery after the point's write; re-recover; verify."""
+    nvram = NVRAM(system.nvram, track_crash_state=False)
+    nvram.image[: len(scenario.image)] = scenario.image
+    interrupted = False
+    try:
+        scenario.cold_manager(nvram).recover(
+            crash_injector=FaultMonitor(CrashPoint(EventKind.RECOVERY, point.index))
+        )
+    except RecoveryInterrupted:
+        interrupted = True
+    # Second (clean) recovery pass — the restart after the second crash.
+    report = scenario.cold_manager(nvram).recover()
+
+    pm = scenario.golden_pm
+    wrong = _count_mismatches(nvram, pm, scenario.crash_time)
+    return PointResult(
+        point=point,
+        crash_time=scenario.crash_time,
+        triggered=interrupted,
+        mismatches=wrong,
+        torn_records_skipped=report.torn_records_skipped,
+        checksum_failures=report.checksum_failures,
+        fault_applied=interrupted,
+        recovery_interrupted=interrupted,
+        converged=bytes(nvram.image) == scenario.reference_image,
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+def resolve_policies(spec: str) -> Tuple[Policy, ...]:
+    """Turn a CLI policy spec into a policy tuple.
+
+    ``"guaranteed"`` → the four guaranteed designs; ``"all"`` → those
+    plus every unguaranteed logging design; otherwise a single policy
+    name (e.g. ``"fwb"``).
+    """
+    if spec == "guaranteed":
+        return GUARANTEED_POLICIES
+    if spec == "all":
+        return GUARANTEED_POLICIES + UNGUARANTEED_POLICIES
+    return (Policy.from_name(spec),)
+
+
+def run_fault_campaign(
+    policies: Iterable[Policy] = GUARANTEED_POLICIES,
+    workload: str = "hash",
+    points: int = 60,
+    txns_per_thread: int = 60,
+    threads: int = 1,
+    seed: int = 7,
+    system: Optional[SystemConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run the crash-point × fault × policy matrix; returns all verdicts.
+
+    ``points`` is the per-policy budget; the actual count can differ by a
+    few when the configuration lacks some event streams.  ``progress``
+    (e.g. ``print``) receives one line per policy as results land.
+    """
+    system = system or default_campaign_system()
+    if threads > system.num_cores:
+        raise WorkloadError(
+            f"{threads} threads need {threads} cores, config has {system.num_cores}"
+        )
+    wl = campaign_workload(workload, seed)
+    prepared = prepare_workload(wl, system)
+    result = CampaignResult(
+        workload=workload,
+        txns_per_thread=txns_per_thread,
+        threads=threads,
+        seed=seed,
+    )
+    for policy in policies:
+        # 1. Profile the event streams of this policy's run.
+        profile = FaultMonitor()
+        machine, _pm, _ = _fresh_run(
+            prepared, policy, threads, txns_per_thread, profile
+        )
+        machine.nvram.recycle()
+        retire_total = profile.counts[EventKind.RETIRE]
+        scenario = _build_recovery_scenario(
+            prepared, policy, threads, txns_per_thread, retire_total
+        )
+        # 2. Enumerate points against the profiled totals.
+        plan = enumerate_points(
+            profile.counts,
+            scenario.steps if scenario is not None else 0,
+            budget=points,
+        )
+        # 3. Execute.
+        report = PolicyReport(policy)
+        for point in plan:
+            if point.kind is EventKind.RECOVERY:
+                outcome = _run_recovery_point(scenario, system, point)
+            else:
+                outcome = _run_execution_point(
+                    prepared, policy, point, threads, txns_per_thread
+                )
+            report.points.append(outcome)
+        result.reports.append(report)
+        if progress is not None:
+            progress(
+                f"{policy.value}: {len(report.points)} point(s), "
+                f"{len(report.violations)} violation(s) — {report.verdict}"
+            )
+    return result

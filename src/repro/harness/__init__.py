@@ -9,6 +9,7 @@
 """
 
 from .cache import SweepCache, cache_enabled
+from .parallel import SweepHealth
 from .plots import figure_chart, grouped_bars, series_chart
 from .runner import RunConfig, RunOutcome, run_workload
 from .sweep import SweepCell, SweepResult, run_micro_sweep
@@ -31,6 +32,7 @@ __all__ = [
     "RunOutcome",
     "SweepCache",
     "SweepCell",
+    "SweepHealth",
     "SweepResult",
     "cache_enabled",
     "run_micro_sweep",

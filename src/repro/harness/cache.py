@@ -28,6 +28,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
 from pathlib import Path
 from typing import Optional
 
@@ -93,6 +94,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -124,16 +126,29 @@ class SweepCache:
     # Get / put
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[MachineStats]:
-        """Cached stats for ``key``, or None (counted as hit/miss)."""
+        """Cached stats for ``key``, or None (counted as hit/miss).
+
+        An entry that exists but fails to parse (torn write, truncation,
+        bit rot) is additionally counted in ``corrupt`` and reported on
+        stderr — silently recomputing hides that the cache is rotting —
+        then treated as a miss; the fresh result overwrites it.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             stats = stats_from_dict(payload["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, torn, or corrupt entry — treat as a miss; a fresh
-            # run will overwrite it.
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.corrupt += 1
+            self.misses += 1
+            print(
+                f"warning: corrupt sweep-cache entry {path.name}: {exc!r}; "
+                "recomputing",
+                file=sys.stderr,
+            )
             return None
         self.hits += 1
         return stats
@@ -172,7 +187,10 @@ class SweepCache:
 
     def summary(self) -> str:
         """One-line counter summary for CLI output."""
-        return (
+        line = (
             f"sweep cache: {self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.stores} stored ({self.directory})"
+            f"{self.stores} stored"
         )
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt entr(ies) recomputed"
+        return f"{line} ({self.directory})"

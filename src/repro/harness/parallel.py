@@ -1,4 +1,4 @@
-"""Parallel sweep execution over worker processes.
+"""Parallel sweep execution over worker processes, with self-healing.
 
 Sweep cells are embarrassingly parallel: each one builds a private
 machine, restores a prepared NVRAM snapshot and runs to completion with
@@ -12,15 +12,32 @@ pickles with its image prefix zlib-compressed, so even spawn-based start
 methods pay far less than the raw device size.  Results are plain
 :class:`~repro.sim.stats.MachineStats` dataclasses, cheap to return.
 
-Determinism: a cell's outcome depends only on its configuration, never on
-which process runs it, so ``jobs=N`` is bit-identical to the serial loop
+Self-healing: long sweeps die ugly when one worker is OOM-killed or
+wedges on a pathological cell.  The driver therefore
+
+* bounds each cell's wait with ``cell_timeout`` (hung workers are
+  terminated, not joined forever),
+* retries the failed remainder up to ``max_retries`` times on a fresh
+  pool, with exponential backoff starting at ``retry_backoff`` seconds,
+* finally runs whatever still failed **serially in-process**, where no
+  pool machinery can eat the result,
+
+and records what happened in a :class:`SweepHealth`.  Because a cell's
+outcome is a pure function of its configuration, a retried or
+serially-recovered cell returns bit-identical stats to a first-try run
 (covered by ``tests/harness/test_parallel_sweep.py``).
+
+Determinism: a cell's outcome depends only on its configuration, never on
+which process runs it, so ``jobs=N`` is bit-identical to the serial loop.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, TYPE_CHECKING
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from ..sim.stats import MachineStats
 from .runner import PreparedWorkload, RunConfig, run_workload
@@ -31,6 +48,47 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
 #: Per-worker prepared state, installed by :func:`_init_worker`.
 _WORKER_PREPARED: Dict[str, PreparedWorkload] = {}
 
+#: Test-only fault hook (see :func:`_apply_test_fault`).
+ENV_FAULT_DIR = "REPRO_SWEEP_FAULT_DIR"
+
+
+@dataclass
+class SweepHealth:
+    """What the self-healing driver had to do to finish a sweep."""
+
+    worker_deaths: int = 0
+    timeouts: int = 0
+    retry_rounds: int = 0
+    serial_fallback_cells: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any cell needed more than one attempt."""
+        return bool(
+            self.worker_deaths
+            or self.timeouts
+            or self.retry_rounds
+            or self.serial_fallback_cells
+        )
+
+    def merge(self, other: "SweepHealth") -> None:
+        """Accumulate ``other`` into this record (multi-sweep CLIs)."""
+        self.worker_deaths += other.worker_deaths
+        self.timeouts += other.timeouts
+        self.retry_rounds += other.retry_rounds
+        self.serial_fallback_cells += other.serial_fallback_cells
+
+    def summary(self) -> str:
+        """One-line report for CLI output."""
+        if not self.degraded:
+            return "sweep health: clean (no retries needed)"
+        return (
+            f"sweep health: {self.worker_deaths} worker death(s), "
+            f"{self.timeouts} timeout(s), {self.retry_rounds} retry "
+            f"round(s), {self.serial_fallback_cells} cell(s) recovered "
+            f"serially"
+        )
+
 
 def _init_worker(prepared_map: Dict[str, PreparedWorkload]) -> None:
     """Pool initializer: receive the prepared workloads once."""
@@ -38,10 +96,38 @@ def _init_worker(prepared_map: Dict[str, PreparedWorkload]) -> None:
     _WORKER_PREPARED = prepared_map
 
 
+def _apply_test_fault(benchmark: str, threads: int, policy) -> None:
+    """Deterministic worker-fault hook, armed only via environment.
+
+    When ``REPRO_SWEEP_FAULT_DIR`` names a directory, a file
+    ``kill-<benchmark>-<threads>-<policy>`` inside it makes the worker
+    consume the file and die (``os._exit``) — exactly one death per
+    armed file — and ``hang-<...>`` makes it sleep far past any sane
+    ``cell_timeout``.  Only :func:`_run_cell` (worker processes) consults
+    the hook, so the serial fallback is immune by construction.  This
+    exists so the retry/fallback machinery is testable; production runs
+    never set the variable.
+    """
+    root = os.environ.get(ENV_FAULT_DIR)
+    if not root:
+        return
+    name = f"{benchmark}-{threads}-{getattr(policy, 'value', policy)}"
+    kill = os.path.join(root, f"kill-{name}")
+    if os.path.exists(kill):
+        try:
+            os.unlink(kill)
+        except OSError:
+            pass
+        os._exit(1)
+    if os.path.exists(os.path.join(root, f"hang-{name}")):
+        time.sleep(3600)
+
+
 def _run_cell(
     benchmark: str, threads: int, policy, txns_per_thread: int, seed: int
 ) -> MachineStats:
     """Run one sweep cell in a worker process; returns its stats."""
+    _apply_test_fault(benchmark, threads, policy)
     prepared = _WORKER_PREPARED[benchmark]
     outcome = run_workload(
         prepared.workload,
@@ -58,24 +144,58 @@ def _run_cell(
     return outcome.stats
 
 
-def run_cells_parallel(
+def _run_cell_inline(
+    prepared: PreparedWorkload,
+    cell: "SweepCell",
+    txns_per_thread: int,
+    seed: int,
+) -> MachineStats:
+    """Serial fallback: run one cell in the driver process."""
+    outcome = run_workload(
+        prepared.workload,
+        RunConfig(
+            policy=cell.policy,
+            threads=cell.threads,
+            txns_per_thread=txns_per_thread,
+            system=prepared.system,
+            seed=seed,
+        ),
+        prepared=prepared,
+    )
+    outcome.machine.nvram.recycle()
+    return outcome.stats
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: hung workers are terminated, not joined."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+
+
+def _parallel_round(
     prepared_map: Dict[str, PreparedWorkload],
-    cells: Iterable["SweepCell"],
+    cells: List["SweepCell"],
     txns_per_thread: int,
     seed: int,
     jobs: int,
-) -> Dict["SweepCell", MachineStats]:
-    """Execute ``cells`` across ``jobs`` worker processes.
-
-    Returns ``{cell: stats}``; callers impose their own ordering (dict
-    iteration order here is submission order, which the sweep re-sorts
-    into canonical matrix order anyway).
-    """
-    cells = list(cells)
-    with ProcessPoolExecutor(
+    cell_timeout: Optional[float],
+    health: SweepHealth,
+    results: Dict["SweepCell", MachineStats],
+) -> List["SweepCell"]:
+    """One pool attempt over ``cells``; returns the cells that failed."""
+    failed: List["SweepCell"] = []
+    pool = ProcessPoolExecutor(
         max_workers=jobs, initializer=_init_worker, initargs=(prepared_map,)
-    ) as pool:
-        futures = [
+    )
+    broken = False
+    timed_out = False
+    try:
+        futures: List[Tuple["SweepCell", object]] = [
             (
                 cell,
                 pool.submit(
@@ -89,4 +209,77 @@ def run_cells_parallel(
             )
             for cell in cells
         ]
-        return {cell: future.result() for cell, future in futures}
+        for cell, future in futures:
+            try:
+                results[cell] = future.result(timeout=cell_timeout)
+            except TimeoutError:
+                health.timeouts += 1
+                timed_out = True
+                failed.append(cell)
+            except BrokenExecutor:
+                if not broken:
+                    # One death breaks the whole pool; every unfinished
+                    # future fails fast, so count the death once.
+                    health.worker_deaths += 1
+                    broken = True
+                failed.append(cell)
+    finally:
+        if timed_out or broken:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+    return failed
+
+
+def run_cells_parallel(
+    prepared_map: Dict[str, PreparedWorkload],
+    cells: Iterable["SweepCell"],
+    txns_per_thread: int,
+    seed: int,
+    jobs: int,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
+    health: Optional[SweepHealth] = None,
+) -> Dict["SweepCell", MachineStats]:
+    """Execute ``cells`` across ``jobs`` worker processes, self-healing.
+
+    ``cell_timeout`` bounds the wait for each cell's result (None waits
+    forever); cells lost to a timeout or a worker death are retried on a
+    fresh pool up to ``max_retries`` times with exponential backoff
+    (``retry_backoff * 2**round`` seconds), and whatever still fails is
+    recovered serially in the driver process.  ``health`` (optional)
+    accumulates what happened for CLI reporting.
+
+    Returns ``{cell: stats}``; callers impose their own ordering (dict
+    iteration order here is submission order, which the sweep re-sorts
+    into canonical matrix order anyway).  Results are bit-identical to
+    the serial loop regardless of how many attempts a cell needed.
+    """
+    if health is None:
+        health = SweepHealth()
+    remaining = list(cells)
+    results: Dict["SweepCell", MachineStats] = {}
+    attempt = 0
+    while remaining and attempt <= max_retries:
+        if attempt:
+            health.retry_rounds += 1
+            time.sleep(retry_backoff * (2 ** (attempt - 1)))
+        remaining = _parallel_round(
+            prepared_map,
+            remaining,
+            txns_per_thread,
+            seed,
+            jobs,
+            cell_timeout,
+            health,
+            results,
+        )
+        attempt += 1
+    # Last resort: no pool machinery between us and the result.
+    for cell in remaining:
+        health.serial_fallback_cells += 1
+        results[cell] = _run_cell_inline(
+            prepared_map[cell.benchmark], cell, txns_per_thread, seed
+        )
+    return results

@@ -97,6 +97,10 @@ def run_micro_sweep(
     workload_factory: Optional[Callable[[str], Workload]] = None,
     jobs: int = 1,
     cache: Optional[SweepCache] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
+    health=None,
 ) -> SweepResult:
     """Run the benchmark x threads x policy matrix; returns all stats.
 
@@ -104,7 +108,11 @@ def run_micro_sweep(
     workload (used by the WHISPER sweep and by tests).  ``jobs > 1`` runs
     the cells on that many worker processes; ``cache`` (off by default —
     library callers opt in, the CLI passes one) serves cells from the
-    on-disk store and writes back fresh results.
+    on-disk store and writes back fresh results.  ``cell_timeout``,
+    ``max_retries``, ``retry_backoff`` and ``health`` configure the
+    parallel driver's self-healing (see
+    :func:`~repro.harness.parallel.run_cells_parallel`); they are ignored
+    by the serial path, which has no workers to lose.
     """
     benchmarks = tuple(benchmarks)
     threads = tuple(threads)
@@ -156,7 +164,17 @@ def run_micro_sweep(
         if jobs > 1:
             from .parallel import run_cells_parallel
 
-            fresh = run_cells_parallel(prepared, pending, txns_per_thread, seed, jobs)
+            fresh = run_cells_parallel(
+                prepared,
+                pending,
+                txns_per_thread,
+                seed,
+                jobs,
+                cell_timeout=cell_timeout,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                health=health,
+            )
         else:
             fresh = {}
             for cell in pending:

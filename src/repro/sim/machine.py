@@ -169,6 +169,13 @@ class Machine:
         self.tracer = None
         """Optional :class:`~repro.sim.trace.Tracer` recording tx/FWB/crash
         events; None (the default) costs nothing."""
+        self.fault_monitor = None
+        """Optional :class:`~repro.faults.crashpoints.FaultMonitor`
+        observing every retired micro-op (and, via the stats counters,
+        log-buffer drains, FWB scans, and log-wrap forces).  It may raise
+        :class:`~repro.errors.SimulatedCrash` to request an
+        event-indexed crash; None (the default) costs one attribute
+        test per op."""
 
     # ------------------------------------------------------------------
     # Address-space helpers
@@ -204,6 +211,8 @@ class Machine:
             result = core.execute(op)
         else:
             result = self._execute_traced(core, op)
+        if self.fault_monitor is not None:
+            self.fault_monitor.after_op(core.time, self.stats)
         self._ops_since_retire += 1
         if self._ops_since_retire >= _RETIRE_PERIOD:
             self._ops_since_retire = 0
@@ -268,6 +277,16 @@ class Machine:
         for core in self.cores:
             self.stats.record_core(core.core_id, core.instret, core.time)
         return self.stats
+
+    def crash_at_point(self, event) -> float:
+        """Crash at the instant an event-indexed crash point fired.
+
+        ``event`` is the :class:`~repro.errors.SimulatedCrash` raised by
+        an installed fault monitor; the crash lands exactly at the core
+        clock of the triggering event, so the surviving NVRAM state is a
+        pure function of (configuration, crash point).
+        """
+        return self.crash(at_time=event.at_time)
 
     def crash(self, at_time: Optional[float] = None) -> float:
         """Power failure at ``at_time`` (default: the latest core clock).

@@ -67,6 +67,11 @@ class NVRAM:
         self.total_write_bytes = 0
         self._regions: dict[str, tuple[int, int]] = {}
         self.region_write_bytes: dict[str, int] = {}
+        self.injector = None
+        """Optional :class:`~repro.faults.plan.FaultInjector`: filters
+        timed writes (stuck-at media faults) and decides what in-flight
+        writes leave behind at a crash (torn writes).  None — the
+        default — costs one attribute test per write."""
 
     def row_buffer_access(self, bank: int, row: int) -> bool:
         """Touch ``row`` in ``bank``'s row buffers; True on a hit."""
@@ -159,6 +164,8 @@ class NVRAM:
                 f"NVRAM write out of range: addr={addr:#x} size={size} "
                 f"limit={self._size:#x}"
             )
+        if self.injector is not None:
+            data = self.injector.filter_write(addr, data)
         if self._track:
             old = bytes(self.image[addr:end])
             self._journal.append((completion_time, addr, old))
@@ -236,13 +243,23 @@ class NVRAM:
         to the same address are serviced FIFO by their bank, so the lost
         set is a per-address suffix).  Returns the number of reverted
         writes.
+
+        An installed fault injector may *tear* an in-flight write instead
+        of fully reverting it (:meth:`~repro.faults.plan.FaultInjector
+        .on_revert`): part of the new data persists, modelling a write
+        that was partially transferred at the power cut.
         """
         if not self._track:
             raise AddressError("crash tracking disabled for this NVRAM device")
+        injector = self.injector
         reverted = 0
         for completion, addr, old in reversed(self._journal):
             if completion > crash_time:
-                self.image[addr:addr + len(old)] = old
+                left = old
+                if injector is not None:
+                    new = bytes(self.image[addr:addr + len(old)])
+                    left = injector.on_revert(addr, old, new)
+                self.image[addr:addr + len(old)] = left
                 reverted += 1
         self._journal = []
         return reverted

@@ -53,10 +53,29 @@ class GoldenModel:
 
     def __init__(self) -> None:
         self.commits: list[tuple[float, dict[int, bytes]]] = []
+        self.staged: dict[int, tuple[int, dict[int, bytes]]] = {}
 
     def record(self, durable_time: float, writes: dict[int, bytes]) -> None:
         """Record one committed transaction."""
         self.commits.append((durable_time, dict(writes)))
+
+    def stage(self, tid: int, physical_txid: int, writes: dict[int, bytes]) -> None:
+        """Mark ``tid``'s current transaction *in doubt*.
+
+        Called just before the first micro-op of the commit sequence that
+        could make the commit record durable.  A crash inside that
+        sequence leaves the transaction neither committed nor aborted
+        from the program's point of view — recovery decides, by whether
+        the commit record survived.  Crash verifiers consult
+        :attr:`staged` together with the recovery report's committed
+        transaction IDs to accept either outcome.
+        """
+        self.staged[tid] = (physical_txid, dict(writes))
+
+    def finalize(self, tid: int) -> None:
+        """The commit sequence completed; the transaction is no longer in
+        doubt (its outcome is in :attr:`commits`)."""
+        self.staged.pop(tid, None)
 
     def expected_at(self, crash_time: float) -> dict[int, bytes]:
         """Word-piece image of all transactions durable by ``crash_time``."""
@@ -177,6 +196,7 @@ class ThreadAPI:
         txid = self._txid
         durable = self._commit_for_policy(policy, txid)
         self._pm.golden.record(durable, self._writes)
+        self._pm.golden.finalize(self.tid)
         self._txid = None
         self._writes = {}
         self._write_lines = set()
@@ -267,6 +287,14 @@ class ThreadAPI:
         logging = self._machine.config.logging
         core = self.core_id
         if policy.uses_hw_logging:
+            # The commit record is appended inside the TxCommit micro-op;
+            # from the moment it executes the transaction's fate belongs
+            # to the log, so stage it as in-doubt first.
+            self._pm.golden.stage(
+                self.tid,
+                self._machine.registers.physical_txid(txid),
+                self._writes,
+            )
             durable = self._machine.execute(
                 core,
                 TxCommit(
@@ -290,7 +318,9 @@ class ThreadAPI:
         # Software logging designs.
         overhead = logging.softlog_instrs_tx_commit
         if policy is Policy.UNSAFE_BASE:
+            physical = self._machine.registers.physical_txid(txid)
             placed = self._machine.swlog.commit(txid, self.tid)
+            self._pm.golden.stage(self.tid, physical, self._writes)
             self._emit_log(placed, "commit")
             self._machine.execute(
                 core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
@@ -304,7 +334,9 @@ class ThreadAPI:
             for line in sorted(self._write_lines):
                 self._machine.execute(core, CLWB(line))
             self._machine.execute(core, Fence())
+            physical = self._machine.registers.physical_txid(txid)
             placed = self._machine.swlog.commit(txid, self.tid)
+            self._pm.golden.stage(self.tid, physical, self._writes)
             self._emit_log(placed, "commit")
             self._machine.execute(
                 core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
@@ -312,18 +344,24 @@ class ThreadAPI:
             # The commit record drains with the WCB; its completion is the
             # real commit point (no extra fence needed for correctness —
             # an un-drained commit record just rolls the transaction back).
-            durable = self._machine.cores[core].wcb.flush(self.now)
-            return max(durable, self.now)
+            # Report that completion exactly: a crash between it and the
+            # core observing it still recovers the transaction.
+            return self._machine.cores[core].wcb.flush(self.now)
 
         if policy is Policy.REDO_CLWB:
             # Redo protocol: full redo log (incl. commit record) durable is
             # the commit point; only then do the in-place stores start.
             # The post-transaction clwbs are posted, not fenced — the redo
             # log already guarantees recoverability of the in-place data.
+            physical = self._machine.registers.physical_txid(txid)
             placed = self._machine.swlog.commit(txid, self.tid)
+            self._pm.golden.stage(self.tid, physical, self._writes)
             self._emit_log(placed, "commit")
             self._machine.execute(core, Fence())
-            durable = self.now
+            # The commit point is the instant the commit record became
+            # durable (recovery redoes any fully-logged transaction whose
+            # commit record survived), not the later fence retirement.
+            durable = self._machine.cores[core].wcb.last_completion
             self._machine.execute(
                 core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
             )
@@ -340,7 +378,17 @@ class ThreadAPI:
         """Issue the uncacheable store for a placed software log record."""
         if self._policy.protects_log_wrap and placed.displaced_line is not None:
             if self._machine.hierarchy.is_line_dirty(placed.displaced_line):
-                self._machine.force_line_durable(placed.displaced_line, self.now)
+                completion = self._machine.force_line_durable(
+                    placed.displaced_line, self.now
+                )
+                # The overwriting record must not become durable before
+                # the displaced data line (a crash in between would lose
+                # the only durable copy of that line's committed value),
+                # so the log store stalls until the force completes —
+                # the same ordering HWL._append enforces in hardware.
+                core = self._machine.cores[self.core_id]
+                if completion > core.time:
+                    core.time = completion
         self._machine.execute(
             self.core_id, LogStore(placed.addr, placed.payload, kind)
         )

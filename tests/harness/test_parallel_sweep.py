@@ -1,8 +1,10 @@
-"""Parallel sweep execution: determinism and prepared-state shipping."""
+"""Parallel sweep execution: determinism, prepared-state shipping, and
+the self-healing retry/fallback machinery."""
 
 import pickle
 
 from repro import Policy
+from repro.harness.parallel import ENV_FAULT_DIR, SweepHealth
 from repro.harness.runner import (
     RunConfig,
     prepare_workload,
@@ -85,3 +87,66 @@ class TestPreparedShipping:
             prepared=prepared,
         )
         assert outcome.stats.transactions_committed == 10
+
+
+class TestSelfHealing:
+    """Injected worker faults must heal without changing any result.
+
+    The fault hook (``REPRO_SWEEP_FAULT_DIR``) is consulted only by
+    worker processes, so the serial baseline and the serial fallback are
+    immune by construction; every healed sweep must therefore be
+    bit-identical to the clean serial run.
+    """
+
+    def _serial_baseline(self):
+        return run_micro_sweep(**sweep_kwargs())
+
+    def test_worker_death_is_retried_bit_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path))
+        # Exactly one death: the worker consumes the file before dying,
+        # so the retry round runs the cell cleanly.
+        (tmp_path / "kill-hash-1-fwb").touch()
+        health = SweepHealth()
+        healed = run_micro_sweep(
+            **sweep_kwargs(), jobs=2, retry_backoff=0.05, health=health
+        )
+        serial = self._serial_baseline()
+        assert list(healed.cells) == list(serial.cells)
+        for cell in serial.cells:
+            assert healed.cells[cell] == serial.cells[cell], cell
+        assert health.worker_deaths >= 1
+        assert health.retry_rounds >= 1
+        assert health.serial_fallback_cells == 0
+        assert health.degraded
+        assert "worker death" in health.summary()
+
+    def test_hung_worker_recovers_serially(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_DIR, str(tmp_path))
+        # The hang file persists, so every pool attempt wedges on this
+        # cell; only the serial fallback (which skips the hook) finishes.
+        (tmp_path / "hang-hash-1-fwb").touch()
+        health = SweepHealth()
+        healed = run_micro_sweep(
+            **sweep_kwargs(),
+            jobs=2,
+            cell_timeout=1.0,
+            max_retries=0,
+            health=health,
+        )
+        serial = self._serial_baseline()
+        for cell in serial.cells:
+            assert healed.cells[cell] == serial.cells[cell], cell
+        assert health.timeouts >= 1
+        assert health.serial_fallback_cells == 1
+
+    def test_health_merge_and_clean_summary(self):
+        health = SweepHealth()
+        assert not health.degraded
+        assert "clean" in health.summary()
+        other = SweepHealth(worker_deaths=1, timeouts=2, retry_rounds=3)
+        health.merge(other)
+        assert (health.worker_deaths, health.timeouts, health.retry_rounds) == (
+            1,
+            2,
+            3,
+        )

@@ -127,13 +127,36 @@ class TestSweepCacheStore:
         assert cache.get(key) == sample_stats()
         assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss(self, tmp_path, capsys):
         cache = SweepCache(tmp_path)
         key = "k" * 64
         cache.put(key, sample_stats())
         (tmp_path / f"{key}.json").write_text("{not json")
         assert cache.get(key) is None
         assert cache.misses == 1
+        assert cache.corrupt == 1
+        assert "corrupt sweep-cache entry" in capsys.readouterr().err
+        # A fresh store overwrites the rotten entry and serves again.
+        cache.put(key, sample_stats())
+        assert cache.get(key) == sample_stats()
+        assert cache.corrupt == 1
+        assert "corrupt entr" in cache.summary()
+
+    def test_truncated_entry_counts_corrupt(self, tmp_path, capsys):
+        # Torn write: valid JSON but the stats payload is missing.
+        cache = SweepCache(tmp_path)
+        key = "t" * 64
+        (tmp_path / f"{key}.json").write_text('{"salt": "sweep-v1"}')
+        assert cache.get(key) is None
+        assert (cache.corrupt, cache.misses) == (1, 1)
+        assert "recomputing" in capsys.readouterr().err
+
+    def test_plain_miss_is_not_corrupt(self, tmp_path, capsys):
+        cache = SweepCache(tmp_path)
+        assert cache.get("m" * 64) is None
+        assert (cache.corrupt, cache.misses) == (0, 1)
+        assert capsys.readouterr().err == ""
+        assert "corrupt entr" not in cache.summary()
 
     def test_clear_removes_entries(self, tmp_path):
         cache = SweepCache(tmp_path)

@@ -19,6 +19,17 @@ class TestParser:
         assert args.benchmark == "hash"
         assert args.threads == 1
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.policy == "guaranteed"
+        assert args.workload == "hash"
+        assert args.points == 60
+        assert args.seed == 7
+
+    def test_cell_timeout_flag(self):
+        args = build_parser().parse_args(["figure", "6", "--cell-timeout", "2.5"])
+        assert args.cell_timeout == 2.5
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -41,3 +52,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "unsafe-base" in out
         assert "fwb gain" in out
+
+    def test_faults_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--policy",
+                    "fwb",
+                    "--points",
+                    "10",
+                    "--txns",
+                    "16",
+                    "--verbose",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign PASSED" in out
+        assert "fwb" in out
+        assert "violation(s)" in out  # the --verbose per-policy line
