@@ -20,6 +20,13 @@ Commands
 ``lifetime``
     Print the Section III-F NVRAM lifetime arithmetic for the configured
     log.
+``psan``
+    Run the persistency-ordering sanitizer over a benchmark x threads x
+    policy matrix (plus adversarial broken-policy probes); exit non-zero
+    on any violation in a guaranteed design — or if the probes fail to
+    trip.
+``lint``
+    Run the determinism/accounting AST lint over the source tree.
 """
 
 from __future__ import annotations
@@ -70,6 +77,33 @@ def _cmd_tables(_args) -> int:
     return 0
 
 
+def _psan_sweep_report(args):
+    """A fresh PsanSweepReport when ``--psan`` was passed, else None."""
+    if not getattr(args, "psan", False):
+        return None
+    from .sanitizer import PsanSweepReport
+
+    return PsanSweepReport()
+
+
+def _report_psan(psan_report) -> bool:
+    """Print a sweep's sanitizer outcome; returns True when clean.
+
+    Diagnostics are only detailed for designs that claim a persistence
+    guarantee; expected violations from unsafe baselines stay as one
+    table row so they don't drown the real signal.
+    """
+    if psan_report is None:
+        return True
+    from repro.sanitizer.checker import _claims_guarantee
+
+    print(psan_report.render())
+    for report in psan_report.reports:
+        if not report.clean and _claims_guarantee(report.policy):
+            print(report.render())
+    return psan_report.clean
+
+
 def _cmd_figure(args) -> int:
     quick = args.quick
     txns = 60 if quick else 250
@@ -77,6 +111,7 @@ def _cmd_figure(args) -> int:
     benchmarks = ("hash", "sps") if quick else tuple(MICROBENCHMARKS)
     cache = _sweep_cache(args)
     health = SweepHealth()
+    psan_report = _psan_sweep_report(args)
     if args.id in ("6", "7", "8", "9"):
         sweep = run_micro_sweep(
             benchmarks=benchmarks,
@@ -86,6 +121,7 @@ def _cmd_figure(args) -> int:
             cache=cache,
             cell_timeout=args.cell_timeout,
             health=health,
+            psan_report=psan_report,
         )
         fn = {
             "6": experiments.figure6_throughput,
@@ -129,7 +165,7 @@ def _cmd_figure(args) -> int:
         return 2
     _report_cache(cache)
     _report_health(health)
-    return 0
+    return 0 if _report_psan(psan_report) else 1
 
 
 def _cmd_compare(args) -> int:
@@ -157,6 +193,7 @@ def _cmd_validate(args) -> int:
 
     cache = _sweep_cache(args)
     health = SweepHealth()
+    psan_report = _psan_sweep_report(args)
     if args.quick:
         sweep = run_micro_sweep(
             benchmarks=("hash", "sps"),
@@ -166,6 +203,7 @@ def _cmd_validate(args) -> int:
             cache=cache,
             cell_timeout=args.cell_timeout,
             health=health,
+            psan_report=psan_report,
         )
     else:
         sweep = None
@@ -173,7 +211,8 @@ def _cmd_validate(args) -> int:
     print(report.rendered)
     _report_cache(cache)
     _report_health(health)
-    return 0 if report.passed else 1
+    psan_clean = _report_psan(psan_report)
+    return 0 if report.passed and psan_clean else 1
 
 
 def _cmd_faults(args) -> int:
@@ -190,6 +229,121 @@ def _cmd_faults(args) -> int:
     )
     print(result.rendered)
     return 0 if result.passed else 1
+
+
+def _cmd_psan(args) -> int:
+    import json
+    import os
+
+    from .sanitizer import PersistOrderChecker, PsanSweepReport, run_psan
+
+    if args.rules:
+        from .sanitizer import RULES
+
+        for rule in RULES.values():
+            print(f"{rule.id:20s} {rule.paper_ref:12s} {rule.title}")
+            print(f"{'':20s} {rule.description}")
+        return 0
+
+    if args.from_trace:
+        from .sim.trace import Tracer
+
+        tracer = Tracer.from_jsonl(args.from_trace)
+        report = PersistOrderChecker.check_events(tracer.events())
+        print(json.dumps(report.to_dict(), indent=2) if args.json else report.render())
+        return 0 if report.clean else 1
+
+    benchmarks = args.benchmarks.split(",")
+    threads_list = [int(t) for t in args.threads.split(",")]
+    policies = [Policy.from_name(name) for name in args.policies.split(",")]
+    if args.save_trace:
+        os.makedirs(args.save_trace, exist_ok=True)
+
+    sweep = PsanSweepReport()
+    for benchmark in benchmarks:
+        prepared = prepare_workload(make_microbenchmark(benchmark, seed=args.seed))
+        for threads in threads_list:
+            for policy in policies:
+                trace_path = None
+                if args.save_trace:
+                    trace_path = os.path.join(
+                        args.save_trace,
+                        f"{benchmark}-{threads}t-{policy.value}.jsonl",
+                    )
+                sweep.reports.append(
+                    run_psan(
+                        benchmark,
+                        policy,
+                        threads=threads,
+                        txns_per_thread=args.txns,
+                        prepared=prepared,
+                        seed=args.seed,
+                        trace_path=trace_path,
+                    )
+                )
+
+    # Adversarial probes: the sanitizer itself is under test here — the
+    # designs without a persistence guarantee MUST trip a rule, or the
+    # checker has gone blind.
+    adversarial = {}
+    if not args.no_adversarial:
+        probe_bench = benchmarks[0]
+        prepared = prepare_workload(make_microbenchmark(probe_bench, seed=args.seed))
+        for policy in (Policy.UNSAFE_BASE, Policy.HW_RLOG):
+            report = run_psan(
+                probe_bench,
+                policy,
+                threads=1,
+                txns_per_thread=args.txns,
+                prepared=prepared,
+                seed=args.seed,
+            )
+            adversarial[policy.value] = sorted(report.rules_fired())
+
+    adversarial_ok = args.no_adversarial or all(adversarial.values())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "matrix": sweep.to_dict(),
+                    "adversarial": adversarial,
+                    "adversarial_ok": adversarial_ok,
+                    "passed": sweep.clean and adversarial_ok,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(sweep.render())
+        for name, rules in adversarial.items():
+            verdict = f"tripped {','.join(rules)}" if rules else "FAILED TO TRIP"
+            print(f"adversarial {name:12s} {verdict}")
+        for report in sweep.reports:
+            if not report.clean:
+                print(report.render())
+        print(
+            "psan: PASS"
+            if sweep.clean and adversarial_ok
+            else "psan: FAIL"
+        )
+    return 0 if sweep.clean and adversarial_ok else 1
+
+
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from .sanitizer.lint import lint_paths
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    findings = lint_paths(paths)
+    if args.json:
+        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"lint: {len(findings)} finding(s)" if findings else "lint: clean")
+    return 1 if findings else 0
 
 
 def _cmd_lifetime(_args) -> int:
@@ -234,6 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-cell wait bound for parallel sweeps; hung workers "
             "are terminated, the cell retried, then run serially",
         )
+        cmd.add_argument(
+            "--psan",
+            action="store_true",
+            help="run every sweep cell under the persistency-ordering "
+            "sanitizer (bypasses the result cache); non-zero exit on "
+            "any violation",
+        )
 
     figure = sub.add_parser("figure")
     figure.add_argument("id", choices=["6", "7", "8", "9", "10", "11a", "11b"])
@@ -271,6 +432,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.set_defaults(fn=_cmd_faults)
     sub.add_parser("lifetime").set_defaults(fn=_cmd_lifetime)
+    psan = sub.add_parser(
+        "psan",
+        help="persistency-ordering sanitizer over a benchmark matrix",
+    )
+    psan.add_argument(
+        "--benchmarks",
+        default="hash,rbtree,sps,btree,ssca2",
+        help="comma-separated microbenchmarks (default: all five)",
+    )
+    psan.add_argument(
+        "--threads",
+        default="1,2,4,8",
+        help="comma-separated thread counts (default: 1,2,4,8)",
+    )
+    psan.add_argument(
+        "--policies",
+        default="hwl,fwb",
+        help="comma-separated designs to verify (default: hwl,fwb)",
+    )
+    psan.add_argument("--txns", type=int, default=40)
+    psan.add_argument("--seed", type=int, default=42)
+    psan.add_argument(
+        "--no-adversarial",
+        action="store_true",
+        help="skip the unsafe-base / hw-rlog must-trip probes",
+    )
+    psan.add_argument("--json", action="store_true", help="machine-readable report")
+    psan.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule registry (id, paper section, invariant) and exit",
+    )
+    psan.add_argument(
+        "--save-trace",
+        metavar="DIR",
+        default=None,
+        help="save each cell's event stream as JSONL into DIR",
+    )
+    psan.add_argument(
+        "--from-trace",
+        metavar="FILE",
+        default=None,
+        help="sanitize a saved JSONL trace instead of running anything",
+    )
+    psan.set_defaults(fn=_cmd_psan)
+    lint = sub.add_parser(
+        "lint", help="determinism/accounting AST lint over the source tree"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.set_defaults(fn=_cmd_lint)
     validate_cmd = sub.add_parser("validate")
     validate_cmd.add_argument("--quick", action="store_true")
     _sweep_flags(validate_cmd)

@@ -70,6 +70,9 @@ class ForceWriteBack:
         self.interval = required_scan_interval(config)
         self.next_scan = self.interval
         self._cost_per_line = config.logging.fwb_scan_cost_per_line
+        self.tracer = None
+        """Optional tracer (set by the machine's ``tracer`` property);
+        emits one ``fwb_scan`` event per tag pass."""
 
     def maybe_scan(self, now: float) -> None:
         """Run scans that have come due by ``now``."""
@@ -80,6 +83,7 @@ class ForceWriteBack:
     def scan(self, now: float) -> None:
         """One pass over every cache's tags (the FSM of Figure 5)."""
         self._stats.fwb_scans += 1
+        writebacks_before = self._stats.fwb_writebacks
         scanned = 0
         for core_id, l1 in enumerate(self._hierarchy.l1s):
             for line in list(l1.iter_lines()):
@@ -90,6 +94,14 @@ class ForceWriteBack:
             self._step_line(line, at_llc=True, core_id=-1, now=now)
         self._stats.fwb_lines_scanned += scanned
         self._hierarchy.add_scan_debt(scanned * self._cost_per_line)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "fwb_scan",
+                -1,
+                lines=scanned,
+                writebacks=self._stats.fwb_writebacks - writebacks_before,
+            )
 
     def _step_line(self, line, at_llc: bool, core_id: int, now: float) -> None:
         if not line.dirty:

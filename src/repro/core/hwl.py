@@ -50,6 +50,9 @@ class HardwareLogging:
         self._record_redo = record_redo
         self._protect_wrap = protect_wrap
         self._started: set[int] = set()
+        self.tracer = None
+        """Optional tracer (set by the machine's ``tracer`` property);
+        emits one ``log_place`` event per appended record."""
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
@@ -114,20 +117,43 @@ class HardwareLogging:
         log = self._router.log_for(tid)
         placed = log.place(record)
         stall = 0.0
-        if (
-            self._protect_wrap
-            and placed.displaced_line is not None
-            and self._hierarchy.is_line_dirty(placed.displaced_line)
+        displaced_dirty = False
+        force_completion = None
+        if placed.displaced_line is not None and self._hierarchy.is_line_dirty(
+            placed.displaced_line
         ):
-            completion = self._hierarchy.force_writeback(placed.displaced_line, now)
-            self._stats.log_wrap_forced_writebacks += 1
-            if completion is not None:
-                stall = max(0.0, completion - now)
-                now += stall
+            displaced_dirty = True
+            if self._protect_wrap:
+                completion = self._hierarchy.force_writeback(placed.displaced_line, now)
+                self._stats.log_wrap_forced_writebacks += 1
+                if completion is not None:
+                    force_completion = completion
+                    stall = max(0.0, completion - now)
+                    now += stall
         push_stall, release = self._router.buffer_for(tid).push(
             placed.addr, placed.payload, now
         )
         self._registers.set_log_pointers(log.head, log.tail)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "log_place",
+                -1,
+                kind=record.kind.name,
+                txid=record.txid,
+                tid=tid,
+                addr=record.addr if record.kind is RecordKind.DATA else None,
+                undo=record.undo.hex(),
+                redo=record.redo.hex(),
+                entry_addr=placed.addr,
+                slot=placed.slot,
+                base=log.base,
+                torn=placed.payload[0] & 1,
+                displaced_line=placed.displaced_line,
+                displaced_dirty=displaced_dirty,
+                force_completion=force_completion,
+                release=release,
+            )
         return stall + push_stall, release
 
     @property

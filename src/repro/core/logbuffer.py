@@ -37,6 +37,13 @@ class LogBuffer:
         self._stats = stats
         self._accept_times: deque[float] = deque()
         self.last_completion = 0.0
+        self.tracer = None
+        """Optional tracer (set by the machine's ``tracer`` property);
+        emits one ``log_push`` event per record entering the FIFO."""
+        self.ident = 0
+        """Buffer index within the machine (distributed-log configs run
+        several FIFOs); stamped on ``log_push`` events so per-buffer FIFO
+        order can be checked."""
 
     def push(self, addr: int, payload: bytes, now: float) -> tuple[float, float]:
         """Append one record; returns (stall_cycles, durable_time).
@@ -68,6 +75,17 @@ class LogBuffer:
         self._stats.log_buffer_stall_cycles += ticket.stall
         stall += ticket.stall
         self.last_completion = max(self.last_completion, ticket.completion)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "log_push",
+                -1,
+                buffer=self.ident,
+                addr=addr,
+                completion=self.last_completion,
+                stall=stall,
+                occupancy=len(self._accept_times),
+            )
         return stall, self.last_completion
 
     @property

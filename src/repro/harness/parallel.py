@@ -123,12 +123,42 @@ def _apply_test_fault(benchmark: str, threads: int, policy) -> None:
         time.sleep(3600)
 
 
+def _psan_hook(holder: dict):
+    """A ``machine_hook`` that attaches a psan checker into ``holder``."""
+    from ..sanitizer.checker import PersistOrderChecker
+
+    def hook(machine) -> None:
+        holder["checker"] = PersistOrderChecker.attach(machine)
+
+    return hook
+
+
+def _finish_psan(holder: dict, stats: MachineStats, benchmark: str, threads: int):
+    """Evaluate an attached checker and stash its report on the stats.
+
+    The report rides back to the driver as an extra attribute —
+    :class:`~repro.sim.stats.MachineStats` pickles with its instance
+    dict, so worker-process results carry it across the pool boundary.
+    """
+    checker = holder.pop("checker")
+    report = checker.finish()
+    report.benchmark = benchmark
+    report.threads = threads
+    stats.psan_report = report
+
+
 def _run_cell(
-    benchmark: str, threads: int, policy, txns_per_thread: int, seed: int
+    benchmark: str,
+    threads: int,
+    policy,
+    txns_per_thread: int,
+    seed: int,
+    psan: bool = False,
 ) -> MachineStats:
     """Run one sweep cell in a worker process; returns its stats."""
     _apply_test_fault(benchmark, threads, policy)
     prepared = _WORKER_PREPARED[benchmark]
+    holder: dict = {}
     outcome = run_workload(
         prepared.workload,
         RunConfig(
@@ -139,8 +169,11 @@ def _run_cell(
             seed=seed,
         ),
         prepared=prepared,
+        machine_hook=_psan_hook(holder) if psan else None,
     )
     outcome.machine.nvram.recycle()
+    if psan:
+        _finish_psan(holder, outcome.stats, benchmark, threads)
     return outcome.stats
 
 
@@ -149,8 +182,10 @@ def _run_cell_inline(
     cell: "SweepCell",
     txns_per_thread: int,
     seed: int,
+    psan: bool = False,
 ) -> MachineStats:
     """Serial fallback: run one cell in the driver process."""
+    holder: dict = {}
     outcome = run_workload(
         prepared.workload,
         RunConfig(
@@ -161,8 +196,11 @@ def _run_cell_inline(
             seed=seed,
         ),
         prepared=prepared,
+        machine_hook=_psan_hook(holder) if psan else None,
     )
     outcome.machine.nvram.recycle()
+    if psan:
+        _finish_psan(holder, outcome.stats, cell.benchmark, cell.threads)
     return outcome.stats
 
 
@@ -186,6 +224,7 @@ def _parallel_round(
     cell_timeout: Optional[float],
     health: SweepHealth,
     results: Dict["SweepCell", MachineStats],
+    psan: bool = False,
 ) -> List["SweepCell"]:
     """One pool attempt over ``cells``; returns the cells that failed."""
     failed: List["SweepCell"] = []
@@ -205,6 +244,7 @@ def _parallel_round(
                     cell.policy,
                     txns_per_thread,
                     seed,
+                    psan,
                 ),
             )
             for cell in cells
@@ -241,8 +281,13 @@ def run_cells_parallel(
     max_retries: int = 2,
     retry_backoff: float = 0.5,
     health: Optional[SweepHealth] = None,
+    psan: bool = False,
 ) -> Dict["SweepCell", MachineStats]:
     """Execute ``cells`` across ``jobs`` worker processes, self-healing.
+
+    ``psan=True`` runs every cell under the persistency-ordering
+    sanitizer; each returned stats object carries its cell's
+    :class:`~repro.sanitizer.rules.PsanReport` as ``psan_report``.
 
     ``cell_timeout`` bounds the wait for each cell's result (None waits
     forever); cells lost to a timeout or a worker death are retried on a
@@ -274,12 +319,13 @@ def run_cells_parallel(
             cell_timeout,
             health,
             results,
+            psan,
         )
         attempt += 1
     # Last resort: no pool machinery between us and the result.
     for cell in remaining:
         health.serial_fallback_cells += 1
         results[cell] = _run_cell_inline(
-            prepared_map[cell.benchmark], cell, txns_per_thread, seed
+            prepared_map[cell.benchmark], cell, txns_per_thread, seed, psan
         )
     return results

@@ -143,6 +143,7 @@ def run_workload(
     workload: Workload,
     run: RunConfig,
     prepared: Optional[PreparedWorkload] = None,
+    machine_hook=None,
 ) -> RunOutcome:
     """Execute ``workload`` under ``run`` and return the outcome.
 
@@ -150,6 +151,11 @@ def run_workload(
     image and heap state are restored instead (the workload must have the
     same identity key as the prepared one; see
     :meth:`~repro.workloads.base.Workload.identity_key`).
+
+    ``machine_hook(machine)``, when given, is called on the freshly built
+    machine before any setup or execution — the attachment point for
+    tracers and the persistency-ordering sanitizer (setup uses untimed
+    pokes, so a tracer attached here sees only timed execution).
     """
     system = run.system or (prepared.system if prepared else default_experiment_config())
     if run.threads > system.num_cores:
@@ -158,6 +164,8 @@ def run_workload(
             f"config has {system.num_cores}"
         )
     machine = Machine(system, run.policy)
+    if machine_hook is not None:
+        machine_hook(machine)
     pm = PersistentMemory(machine)
     if prepared is not None:
         # Identity-key comparison (not object identity): a prepared

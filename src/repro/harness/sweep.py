@@ -31,12 +31,7 @@ from ..sim.stats import MachineStats
 from ..workloads import make_microbenchmark
 from ..workloads.base import Workload
 from .cache import SweepCache
-from .runner import (
-    RunConfig,
-    default_experiment_config,
-    prepare_workload,
-    run_workload,
-)
+from .runner import default_experiment_config, prepare_workload
 
 
 @dataclass(frozen=True)
@@ -101,6 +96,7 @@ def run_micro_sweep(
     max_retries: int = 2,
     retry_backoff: float = 0.5,
     health=None,
+    psan_report=None,
 ) -> SweepResult:
     """Run the benchmark x threads x policy matrix; returns all stats.
 
@@ -113,8 +109,16 @@ def run_micro_sweep(
     parallel driver's self-healing (see
     :func:`~repro.harness.parallel.run_cells_parallel`); they are ignored
     by the serial path, which has no workers to lose.
+
+    ``psan_report`` (a :class:`~repro.sanitizer.checker.PsanSweepReport`)
+    runs every cell under the persistency-ordering sanitizer and appends
+    one per-cell report in canonical matrix order.  Sanitizing requires
+    actually executing the cells, so the result cache is bypassed for
+    the whole sweep when set.
     """
     benchmarks = tuple(benchmarks)
+    if psan_report is not None:
+        cache = None
     threads = tuple(threads)
     policies = tuple(policies)
     workloads: Dict[str, Workload] = {}
@@ -174,29 +178,33 @@ def run_micro_sweep(
                 max_retries=max_retries,
                 retry_backoff=retry_backoff,
                 health=health,
+                psan=psan_report is not None,
             )
         else:
+            from .parallel import _run_cell_inline
+
             fresh = {}
             for cell in pending:
-                outcome = run_workload(
-                    workloads[cell.benchmark],
-                    RunConfig(
-                        policy=cell.policy,
-                        threads=cell.threads,
-                        txns_per_thread=txns_per_thread,
-                        system=system,
-                        seed=seed,
-                    ),
-                    prepared=prepared[cell.benchmark],
-                )
-                # The cell's machine is finished: recycling its NVRAM
-                # buffer saves an allocate+zero of the full device for
+                # _run_cell_inline recycles the finished machine's NVRAM
+                # buffer, saving an allocate+zero of the full device for
                 # the next cell.
-                outcome.machine.nvram.recycle()
-                fresh[cell] = outcome.stats
+                fresh[cell] = _run_cell_inline(
+                    prepared[cell.benchmark],
+                    cell,
+                    txns_per_thread,
+                    seed,
+                    psan=psan_report is not None,
+                )
         for cell, stats in fresh.items():
             collected[cell] = stats
             if cache is not None:
                 cache.put(keys[cell], stats)
+
+    if psan_report is not None:
+        for cell in order:
+            report = getattr(collected[cell], "psan_report", None)
+            if report is not None:
+                report.policy = cell.policy.value
+                psan_report.reports.append(report)
 
     return SweepResult({cell: collected[cell] for cell in order})

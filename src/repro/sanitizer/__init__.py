@@ -1,0 +1,43 @@
+"""Persistency-ordering sanitizer (psan) and determinism lint.
+
+Two complementary checkers guard the simulator's correctness claims:
+
+* :mod:`repro.sanitizer.checker` — the **dynamic** half.  A
+  :class:`~repro.sanitizer.checker.PersistOrderChecker` consumes the
+  trace-event stream of a run (live, via
+  :meth:`~repro.sim.trace.Tracer.subscribe`, or offline from a
+  :meth:`~repro.sim.trace.Tracer.to_jsonl` file) and verifies the
+  paper's persistency-ordering invariants: log records durable before
+  their data write-backs (Section III-B), undo+redo completeness
+  (Section III-A), commit-record ordering and the reported commit
+  durability (Section III-D), forced write-backs before log-wrap
+  overwrites and the torn-bit discipline (Sections III-C/III-E), FIFO
+  log drains (Section IV-C), and no persistent mutation outside a
+  transaction.
+
+* :mod:`repro.sanitizer.lint` — the **static** half.  An AST pass over
+  the source tree rejecting determinism and accounting hazards: wall
+  clock / ambient randomness in simulation paths, undeclared stats
+  counters, float equality on cycle times, unregistered trace event
+  kinds.
+
+Both are exposed through the CLI (``repro psan`` / ``repro lint``) and
+run in CI as a gate.
+"""
+
+from __future__ import annotations
+
+from .checker import PersistOrderChecker, PsanSweepReport, run_psan
+from .lint import LintFinding, lint_paths
+from .rules import PsanDiagnostic, PsanReport, RULES
+
+__all__ = [
+    "PersistOrderChecker",
+    "PsanDiagnostic",
+    "PsanReport",
+    "PsanSweepReport",
+    "RULES",
+    "LintFinding",
+    "lint_paths",
+    "run_psan",
+]

@@ -1,0 +1,742 @@
+"""The dynamic persistency-ordering checker (psan).
+
+:class:`PersistOrderChecker` consumes the trace-event stream of one run
+(see :mod:`repro.sim.events` for the schema) and verifies the ordering
+invariants the paper's designs claim — see :data:`~repro.sanitizer.rules
+.RULES` for the rule-by-rule statement.
+
+The checker is a pure stream consumer: it never touches the machine, so
+it can run live (subscribed to a :class:`~repro.sim.trace.Tracer`) or
+offline over a saved JSONL trace.  Two structural facts about the stream
+shape how it works:
+
+* **Completion times are future values.**  ``nvram_write`` events are
+  emitted when a write is *posted*, carrying the (already computed)
+  completion time.  Rules that compare durability instants therefore
+  accumulate observations during the stream and evaluate at
+  :meth:`finish`, when every completion referenced has been seen.
+* **Placement precedes the store.**  Both the hardware engine and the
+  software runtime emit ``log_place`` before the corresponding ``store``
+  event, so per-store rules (undo presence) can be checked inline.
+
+Transactions are joined by thread id: the runner binds ``tid ==
+core_id``, records carry ``tid`` in their headers, and ``store`` events
+are attributed to the open transaction of their core's thread.  Physical
+transaction IDs recycle (16-bit field), so they are reported but never
+used as a join key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.policy import Policy
+from .rules import RULES, PsanDiagnostic, PsanReport
+
+_EPS = 1e-6
+_WORD = 8
+
+#: Rules the checker evaluates for logging policies.  ``non-pers`` makes
+#: no persistence claim, so no rule applies to it.
+_LOGGING_RULES = tuple(RULES)
+
+
+def _word_base(addr: int) -> int:
+    return addr - (addr % _WORD)
+
+
+@dataclass
+class _Rec:
+    """One placed log record, as seen by the checker."""
+
+    kind: str
+    txid: int
+    tid: int
+    addr: Optional[int]
+    has_undo: bool
+    has_redo: bool
+    place_time: float
+    entry_addr: int
+    slot: int
+    base: int
+    durable: Optional[float] = None
+    force_completion: Optional[float] = None
+    displaced_dirty: bool = False
+
+
+@dataclass
+class _Txn:
+    """One transaction's accumulated state."""
+
+    tid: int
+    txid: int
+    begin_time: float
+    stores: dict = field(default_factory=dict)  # piece addr -> store time
+    word_stores: dict = field(default_factory=dict)  # word base -> set of piece addrs
+    logged: dict = field(default_factory=dict)  # piece addr -> _Rec (DATA)
+    records: list = field(default_factory=list)  # all DATA _Recs, in order
+    commit_rec: Optional[_Rec] = None
+    commit_time: Optional[float] = None
+    reported: Optional[float] = None
+
+    #: Minimum NVRAM completion of a heap write covering each stored
+    #: piece, observed after the store (None until seen).
+    data_durable: dict = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_time is not None
+
+    def commit_durable(self) -> Optional[float]:
+        if self.commit_rec is None:
+            return None
+        return self.commit_rec.durable
+
+
+class PersistOrderChecker:
+    """Streaming verifier for the paper's persistency-ordering rules."""
+
+    def __init__(self) -> None:
+        self.policy: Optional[Policy] = None
+        self._enabled = True
+        self._heap_base = 0
+        self._heap_limit = 0
+        self._entry_size = 64
+        self._log_regions: list = []
+        self._open: dict = {}  # tid -> _Txn
+        self._last_closed: dict = {}  # tid -> _Txn
+        self._txns: list = []
+        self._word_owner: dict = {}  # word base -> _Txn
+        self._pending_by_entry: dict = {}  # entry addr -> _Rec awaiting durability
+        self._heap_obs: list = []  # (word base, completion, owner _Txn)
+        self._slot_torn: dict = {}  # (log base, slot) -> last torn bit
+        self._last_push: dict = {}  # buffer id -> last completion
+        self._crashed = False
+        self._events = 0
+        self.diagnostics: list = []
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def meta_for(machine) -> dict:
+        """The ``meta`` event detail describing ``machine``'s geometry."""
+        return {
+            "policy": machine.policy.value,
+            "heap_base": machine.heap_base,
+            "heap_limit": machine.heap_limit,
+            "line_size": machine.config.line_size,
+            "log_entry_size": machine.config.logging.log_entry_size,
+            "log_regions": [
+                [log.base, log.num_entries * log.entry_size] for log in machine.logs
+            ],
+        }
+
+    @classmethod
+    def attach(cls, machine, tracer=None, capacity: int = 1_000_000):
+        """Attach a fresh checker (and tracer, unless given) to ``machine``.
+
+        Emits the ``meta`` event into the stream so a trace saved from
+        this tracer can be re-checked offline, then subscribes the
+        checker.  Returns the checker; its :attr:`tracer` is the tracer.
+        """
+        from ..sim.trace import Tracer
+
+        if tracer is None:
+            tracer = Tracer(capacity=capacity)
+        checker = cls()
+        machine.tracer = tracer
+        tracer.subscribe(checker.feed)
+        tracer.emit(0.0, "meta", -1, **cls.meta_for(machine))
+        checker.tracer = tracer
+        return checker
+
+    @classmethod
+    def check_events(cls, events: Iterable) -> PsanReport:
+        """Run the checker over an iterable of already-recorded events."""
+        checker = cls()
+        for event in events:
+            checker.feed(event)
+        return checker.finish()
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def feed(self, event) -> None:
+        """Consume one :class:`~repro.sim.trace.TraceEvent`."""
+        self._events += 1
+        if not self._enabled:
+            return
+        handler = self._DISPATCH.get(event.kind)
+        if handler is not None:
+            handler(self, event)
+
+    def _on_meta(self, event) -> None:
+        d = event.detail
+        self.policy = Policy.from_name(d["policy"])
+        self._heap_base = d["heap_base"]
+        self._heap_limit = d["heap_limit"]
+        self._entry_size = d.get("log_entry_size", 64)
+        self._log_regions = [tuple(region) for region in d.get("log_regions", ())]
+        if self.policy is Policy.NON_PERS:
+            # No persistence claim: nothing to check.
+            self._enabled = False
+
+    def _on_tx_begin(self, event) -> None:
+        tid = event.detail["tid"]
+        self._open[tid] = _Txn(tid, event.detail["txid"], event.time)
+
+    def _on_tx_commit(self, event) -> None:
+        tid = event.detail["tid"]
+        txn = self._open.pop(tid, None)
+        if txn is None:
+            return
+        txn.commit_time = event.time
+        self._last_closed[tid] = txn
+        self._txns.append(txn)
+
+    def _on_commit_reported(self, event) -> None:
+        txn = self._last_closed.get(event.detail["tid"])
+        if txn is not None and txn.reported is None:
+            txn.reported = event.detail["durable"]
+
+    def _on_store(self, event) -> None:
+        d = event.detail
+        addr = d["addr"]
+        if not (self._heap_base <= addr < self._heap_limit):
+            return
+        tid = event.core  # runner convention: tid == core_id
+        txn = self._open.get(tid)
+        word = _word_base(addr)
+        if txn is None:
+            self._check_post_txn_store(event, tid, addr, word)
+            return
+        txn.stores[addr] = event.time
+        txn.word_stores.setdefault(word, set()).add(addr)
+        self._word_owner[word] = txn
+        # undo-missing: an in-place store during an open transaction must
+        # be preceded by an undo-carrying DATA record for that word
+        # (software redo logging defers the store instead, so its
+        # transactional writes never reach this path).
+        if self.policy.defers_in_place_stores:
+            return
+        rec = txn.logged.get(addr)
+        if rec is None or not rec.has_undo:
+            why = (
+                "no log record placed"
+                if rec is None
+                else "record placed but carries no undo value"
+            )
+            self._report(
+                "undo-missing",
+                f"in-place store at {addr:#x} during open transaction "
+                f"{txn.txid} has no undo record ({why})",
+                event.time,
+                core=event.core,
+                addr=addr,
+                txid=txn.txid,
+                tid=tid,
+                provenance=(
+                    f"{txn.begin_time:.0f} tx_begin tid={tid} txid={txn.txid}",
+                    f"{event.time:.0f} store core={event.core} addr={addr:#x}",
+                ),
+            )
+
+    def _check_post_txn_store(self, event, tid: int, addr: int, word: int) -> None:
+        """A timed heap store outside any transaction.
+
+        Software redo logging legitimately flushes its deferred in-place
+        stores right after commit; those target words of the just-committed
+        transaction's logged write set.  Anything else is an unlogged
+        persistent mutation.
+        """
+        last = self._last_closed.get(tid)
+        if (
+            self.policy.defers_in_place_stores
+            and last is not None
+            and addr in last.logged
+        ):
+            # The deferred store's durability feeds redo-missing's data
+            # tracking for the owning transaction.
+            last.stores.setdefault(addr, event.time)
+            last.word_stores.setdefault(word, set()).add(addr)
+            self._word_owner[word] = last
+            return
+        self._report(
+            "unlogged-mutation",
+            f"persistent heap store at {addr:#x} outside any transaction",
+            event.time,
+            core=event.core,
+            addr=addr,
+            tid=tid,
+            provenance=(
+                f"{event.time:.0f} store core={event.core} addr={addr:#x} "
+                f"(no open transaction for tid={tid})",
+            ),
+        )
+
+    def _on_log_place(self, event) -> None:
+        d = event.detail
+        rec = _Rec(
+            kind=d["kind"],
+            txid=d["txid"],
+            tid=d["tid"],
+            addr=d["addr"],
+            has_undo=bool(d["undo"]),
+            has_redo=bool(d["redo"]),
+            place_time=event.time,
+            entry_addr=d["entry_addr"],
+            slot=d["slot"],
+            base=d["base"],
+            durable=d["release"],
+            force_completion=d.get("force_completion"),
+            displaced_dirty=bool(d.get("displaced_dirty")),
+        )
+        if rec.durable is None:
+            # Software record: durability resolves when the WCB-drained
+            # line's NVRAM write is observed for this entry.
+            self._pending_by_entry[rec.entry_addr] = rec
+        txn = self._open.get(rec.tid)
+        if txn is not None:
+            if rec.kind == "DATA" and rec.addr is not None:
+                txn.logged[rec.addr] = rec
+                txn.records.append(rec)
+            elif rec.kind == "COMMIT":
+                txn.commit_rec = rec
+        # torn-parity: each pass over the circular log flips the bit.
+        key = (rec.base, rec.slot)
+        prev = self._slot_torn.get(key)
+        if prev is not None and prev == d["torn"]:
+            self._report(
+                "torn-parity",
+                f"record overwrote log slot {rec.slot} (base {rec.base:#x}) "
+                f"without flipping the torn bit (still {d['torn']})",
+                event.time,
+                core=event.core,
+                txid=rec.txid,
+                tid=rec.tid,
+                provenance=(
+                    f"{event.time:.0f} log_place slot={rec.slot} torn={d['torn']}",
+                ),
+            )
+        self._slot_torn[key] = d["torn"]
+        # wrap-overwrite: overwriting an entry whose data line is dirty
+        # requires a completed forced write-back ordered before the new
+        # record's durability.
+        if rec.displaced_dirty:
+            if rec.force_completion is None:
+                self._report(
+                    "wrap-overwrite",
+                    f"log wrap overwrote slot {rec.slot} whose data line "
+                    f"{d['displaced_line']:#x} was dirty, with no forced "
+                    "write-back",
+                    event.time,
+                    core=event.core,
+                    addr=d["displaced_line"],
+                    txid=rec.txid,
+                    tid=rec.tid,
+                    provenance=(
+                        f"{event.time:.0f} log_place slot={rec.slot} "
+                        f"displaced_line={d['displaced_line']:#x} dirty, no force",
+                    ),
+                )
+            elif rec.durable is not None:
+                self._check_wrap_order(rec)
+        # Eagerly checked when durability is already known; software
+        # records re-check at durability resolution / finish.
+
+    def _check_wrap_order(self, rec: _Rec) -> None:
+        if (
+            rec.force_completion is not None
+            and rec.durable is not None
+            and rec.force_completion > rec.durable + _EPS
+        ):
+            self._report(
+                "wrap-overwrite",
+                f"record overwriting slot {rec.slot} became durable at "
+                f"{rec.durable:.0f}, before the displaced line's forced "
+                f"write-back completed at {rec.force_completion:.0f}",
+                rec.place_time,
+                txid=rec.txid,
+                tid=rec.tid,
+                provenance=(
+                    f"{rec.place_time:.0f} log_place slot={rec.slot} "
+                    f"force_completion={rec.force_completion:.0f}",
+                    f"record durable={rec.durable:.0f}",
+                ),
+            )
+
+    def _on_log_push(self, event) -> None:
+        d = event.detail
+        buffer = d.get("buffer", 0)
+        completion = d["completion"]
+        prev = self._last_push.get(buffer)
+        if prev is not None and completion + _EPS < prev:
+            self._report(
+                "fifo-order",
+                f"log buffer {buffer} completion went backwards "
+                f"({completion:.0f} after {prev:.0f}) — records would "
+                "reach NVRAM out of store-order",
+                event.time,
+                provenance=(
+                    f"{event.time:.0f} log_push buffer={buffer} "
+                    f"completion={completion:.0f} (prev {prev:.0f})",
+                ),
+            )
+        if prev is None or completion > prev:
+            self._last_push[buffer] = completion
+
+    def _on_nvram_write(self, event) -> None:
+        d = event.detail
+        addr = d["addr"]
+        size = d["size"]
+        completion = d["completion"]
+        if self._heap_base <= addr < self._heap_limit:
+            self._observe_heap_write(addr, size, completion)
+            return
+        for base, region_size in self._log_regions:
+            if base <= addr < base + region_size:
+                self._resolve_log_write(addr, size, completion)
+                return
+
+    def _observe_heap_write(self, addr: int, size: int, completion: float) -> None:
+        end = addr + size
+        word = _word_base(addr)
+        while word < end:
+            owner = self._word_owner.get(word)
+            if owner is not None:
+                for piece in owner.word_stores.get(word, ()):
+                    known = owner.data_durable.get(piece)
+                    if known is None or completion < known:
+                        owner.data_durable[piece] = completion
+                self._heap_obs.append((word, completion, owner))
+            word += _WORD
+
+    def _resolve_log_write(self, addr: int, size: int, completion: float) -> None:
+        entry = addr - (addr % self._entry_size)
+        end = addr + size
+        while entry < end:
+            rec = self._pending_by_entry.get(entry)
+            if rec is not None and rec.durable is None:
+                rec.durable = completion
+                self._check_wrap_order(rec)
+            entry += self._entry_size
+
+    def _on_crash(self, event) -> None:
+        self._crashed = True
+
+    _DISPATCH = {
+        "meta": _on_meta,
+        "tx_begin": _on_tx_begin,
+        "tx_commit": _on_tx_commit,
+        "commit_reported": _on_commit_reported,
+        "store": _on_store,
+        "log_place": _on_log_place,
+        "log_push": _on_log_push,
+        "nvram_write": _on_nvram_write,
+        "crash": _on_crash,
+    }
+
+    # ------------------------------------------------------------------
+    # End-of-stream evaluation
+    # ------------------------------------------------------------------
+    def finish(self) -> PsanReport:
+        """Evaluate the completion-time rules and assemble the report.
+
+        Call exactly once, after the run (or trace replay) has ended.
+        """
+        if self._enabled:
+            for txn in self._txns:
+                self._finish_txn(txn)
+            self._finish_steal_order()
+        return PsanReport(
+            policy=self.policy.value if self.policy else "?",
+            diagnostics=list(self.diagnostics),
+            events_processed=self._events,
+            txns_checked=len(self._txns),
+            rules_checked=_LOGGING_RULES if self._enabled else (),
+        )
+
+    def _finish_txn(self, txn: _Txn) -> None:
+        commit = txn.commit_rec
+        commit_durable = txn.commit_durable()
+        # commit-durability: the runtime must not report a durability
+        # time earlier than the COMMIT record's actual NVRAM completion.
+        if txn.reported is not None and commit is not None:
+            if commit_durable is None:
+                if not self._crashed:
+                    self._report(
+                        "commit-durability",
+                        f"transaction {txn.txid} reported durable at "
+                        f"{txn.reported:.0f} but its commit record never "
+                        "reached NVRAM in the observed stream",
+                        txn.commit_time or txn.reported,
+                        txid=txn.txid,
+                        tid=txn.tid,
+                        provenance=(
+                            f"{commit.place_time:.0f} log_place COMMIT "
+                            f"slot={commit.slot} (no matching nvram_write)",
+                            f"reported durable={txn.reported:.0f}",
+                        ),
+                    )
+            elif txn.reported + _EPS < commit_durable:
+                self._report(
+                    "commit-durability",
+                    f"transaction {txn.txid} reported durable at "
+                    f"{txn.reported:.0f}, {commit_durable - txn.reported:.0f} "
+                    "cycles before its commit record actually completed "
+                    f"at {commit_durable:.0f}",
+                    txn.commit_time or txn.reported,
+                    txid=txn.txid,
+                    tid=txn.tid,
+                    provenance=(
+                        f"{commit.place_time:.0f} log_place COMMIT "
+                        f"slot={commit.slot}",
+                        f"record durable={commit_durable:.0f}",
+                        f"reported durable={txn.reported:.0f}",
+                    ),
+                )
+        if commit is None or commit_durable is None:
+            # Without a durable commit record the transaction rolls back
+            # on a crash; the remaining rules are commit-conditioned.
+            return
+        for rec in txn.records:
+            # commit-order: every DATA record durable no later than the
+            # COMMIT record.
+            if rec.durable is None:
+                self._report(
+                    "commit-order",
+                    f"transaction {txn.txid}: DATA record for "
+                    f"{rec.addr:#x} never became durable although the "
+                    f"commit record completed at {commit_durable:.0f}",
+                    rec.place_time,
+                    addr=rec.addr,
+                    txid=txn.txid,
+                    tid=txn.tid,
+                    provenance=(
+                        f"{rec.place_time:.0f} log_place DATA slot={rec.slot}",
+                        f"commit durable={commit_durable:.0f}",
+                    ),
+                )
+            elif rec.durable > commit_durable + _EPS:
+                self._report(
+                    "commit-order",
+                    f"transaction {txn.txid}: DATA record for {rec.addr:#x} "
+                    f"became durable at {rec.durable:.0f}, after the commit "
+                    f"record at {commit_durable:.0f}",
+                    rec.place_time,
+                    addr=rec.addr,
+                    txid=txn.txid,
+                    tid=txn.tid,
+                    provenance=(
+                        f"{rec.place_time:.0f} log_place DATA slot={rec.slot} "
+                        f"durable={rec.durable:.0f}",
+                        f"commit durable={commit_durable:.0f}",
+                    ),
+                )
+            # redo-missing: once the commit record is durable the data
+            # must be recoverable — either already durable in place, or
+            # reconstructible from a redo value.
+            if rec.has_redo or rec.addr is None:
+                continue
+            data_durable = txn.data_durable.get(rec.addr)
+            if data_durable is None or data_durable > commit_durable + _EPS:
+                where = (
+                    "was never written back"
+                    if data_durable is None
+                    else f"became durable only at {data_durable:.0f}"
+                )
+                self._report(
+                    "redo-missing",
+                    f"transaction {txn.txid} committed durably at "
+                    f"{commit_durable:.0f} but its store to {rec.addr:#x} "
+                    f"{where} and its log record carries no redo value",
+                    commit.place_time,
+                    addr=rec.addr,
+                    txid=txn.txid,
+                    tid=txn.tid,
+                    provenance=(
+                        f"{txn.stores.get(rec.addr, rec.place_time):.0f} "
+                        f"store addr={rec.addr:#x}",
+                        f"{rec.place_time:.0f} log_place DATA (undo-only)",
+                        f"commit durable={commit_durable:.0f}",
+                    ),
+                )
+
+    def _finish_steal_order(self) -> None:
+        for word, completion, owner in self._heap_obs:
+            commit_durable = owner.commit_durable()
+            if commit_durable is not None and commit_durable <= completion + _EPS:
+                continue  # post-commit write-back: always fine
+            # The transaction was uncommitted when this word reached
+            # NVRAM — the "steal".  Some log record for the word must
+            # have been durable by then.
+            covered = False
+            for piece in owner.word_stores.get(word, ()):
+                rec = owner.logged.get(piece)
+                if (
+                    rec is not None
+                    and rec.durable is not None
+                    and rec.durable <= completion + _EPS
+                ):
+                    covered = True
+                    break
+            if not covered:
+                self._report(
+                    "steal-order",
+                    f"heap word {word:#x} of uncommitted transaction "
+                    f"{owner.txid} reached NVRAM at {completion:.0f} with no "
+                    "log record durable by then",
+                    completion,
+                    addr=word,
+                    txid=owner.txid,
+                    tid=owner.tid,
+                    provenance=(
+                        f"{owner.begin_time:.0f} tx_begin tid={owner.tid}",
+                        f"nvram_write word={word:#x} completion={completion:.0f}",
+                        "commit record durable: "
+                        + (
+                            f"{commit_durable:.0f}"
+                            if commit_durable is not None
+                            else "never"
+                        ),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        rule: str,
+        message: str,
+        cycle: float,
+        core: int = -1,
+        addr: Optional[int] = None,
+        txid: Optional[int] = None,
+        tid: Optional[int] = None,
+        provenance: tuple = (),
+    ) -> None:
+        assert rule in RULES, rule
+        self.diagnostics.append(
+            PsanDiagnostic(
+                rule=rule,
+                message=message,
+                cycle=cycle,
+                core=core,
+                addr=addr,
+                txid=txid,
+                tid=tid,
+                provenance=provenance,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Harness entry points
+# ----------------------------------------------------------------------
+def run_psan(
+    benchmark: str,
+    policy: Policy,
+    threads: int = 1,
+    txns_per_thread: int = 40,
+    system=None,
+    prepared=None,
+    seed: int = 42,
+    trace_path: Optional[str] = None,
+    capacity: int = 1_000_000,
+) -> PsanReport:
+    """Run one (benchmark, policy, threads) cell under the sanitizer.
+
+    Builds the machine through the standard runner with the checker
+    attached before setup, so the stream covers exactly the timed
+    execution.  ``trace_path`` additionally saves the raw event stream
+    as JSONL for offline re-checking (``repro psan --from-trace``).
+    """
+    from ..harness.runner import RunConfig, run_workload
+    from ..workloads import make_microbenchmark
+
+    if prepared is not None:
+        workload = prepared.workload
+    else:
+        workload = make_microbenchmark(benchmark, seed=seed)
+    holder: dict = {}
+
+    def hook(machine) -> None:
+        holder["checker"] = PersistOrderChecker.attach(machine, capacity=capacity)
+
+    outcome = run_workload(
+        workload,
+        RunConfig(
+            policy=policy,
+            threads=threads,
+            txns_per_thread=txns_per_thread,
+            system=system,
+            seed=seed,
+        ),
+        prepared=prepared,
+        machine_hook=hook,
+    )
+    checker = holder["checker"]
+    if trace_path is not None:
+        checker.tracer.to_jsonl(trace_path)
+    report = checker.finish()
+    report.benchmark = benchmark
+    report.threads = threads
+    outcome.machine.nvram.recycle()
+    return report
+
+
+def _claims_guarantee(policy_name: str) -> bool:
+    try:
+        return Policy.from_name(policy_name).persistence_guaranteed
+    except ValueError:
+        return True  # unknown policy: treat violations as real
+
+
+@dataclass
+class PsanSweepReport:
+    """Reports for a benchmark x threads x policy sanitizer matrix."""
+
+    reports: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no cell of a *guaranteed* design has a violation.
+
+        Designs without a persistence guarantee (``unsafe-base``,
+        ``hw-rlog``, ``hw-ulog``) are expected to trip rules — their
+        diagnostics are reported but do not fail the sweep.
+        """
+        return all(
+            report.clean
+            for report in self.reports
+            if _claims_guarantee(report.policy)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "cells": [report.to_dict() for report in self.reports],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'benchmark':10s} {'threads':>7s} {'policy':12s} "
+            f"{'events':>9s} {'txns':>6s} verdict",
+            "-" * 62,
+        ]
+        for report in self.reports:
+            verdict = "clean"
+            if not report.clean:
+                fired = ",".join(sorted(report.rules_fired()))
+                note = "" if _claims_guarantee(report.policy) else " (no guarantee claimed)"
+                verdict = f"{len(report.diagnostics)} violation(s): {fired}{note}"
+            lines.append(
+                f"{report.benchmark:10s} "
+                f"{report.threads:7d} "
+                f"{report.policy:12s} "
+                f"{report.events_processed:9d} {report.txns_checked:6d} "
+                f"{verdict}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,322 @@
+"""Determinism and accounting lint (the static half of the sanitizer).
+
+``repro lint`` runs an AST pass over the source tree and rejects four
+classes of hazard that have historically produced irreproducible or
+silently-wrong simulation results:
+
+``wall-clock``
+    Importing ambient-entropy or wall-clock modules (``random``,
+    ``time``, ``datetime``, ``secrets``, ``uuid``) inside the
+    deterministic simulation packages (``sim``, ``core``, ``txn``,
+    ``workloads``, ``faults``).  Simulated time is the only clock, and
+    all randomness must flow through the seeded
+    :mod:`repro.workloads.rng` stream.  The harness layer (process
+    pools, retry backoff) legitimately uses real time and is exempt.
+
+``stats-counter``
+    Writing a counter attribute on a stats object (``*.stats.NAME`` /
+    ``*._stats.NAME``) that :class:`~repro.sim.stats.MachineStats` does
+    not declare.  A typo'd counter accumulates into a ghost attribute
+    that no report or test ever reads.
+
+``float-eq``
+    ``==`` / ``!=`` between floating-point cycle quantities (operands
+    named like times: ``time``, ``completion``, ``release``, ...).
+    Simulated timestamps are floats; exact comparison is only ever
+    correct against a sentinel, which must be annotated.
+
+``event-kind``
+    Passing a string literal to ``.emit(...)`` that is not registered in
+    :data:`repro.sim.events.EVENT_KINDS` — a typo would create a
+    parallel event stream the sanitizer silently ignores.
+
+A finding on a line containing ``# lint: allow(rule-id)`` is suppressed;
+the comment marks a reviewed, justified exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: Modules whose import signals wall-clock or ambient entropy.
+WALL_CLOCK_MODULES = frozenset({"random", "time", "datetime", "secrets", "uuid"})
+
+#: Top-level ``repro`` subpackages that must stay deterministic.
+DETERMINISTIC_PACKAGES = frozenset({"sim", "core", "txn", "workloads", "faults"})
+
+#: Identifier fragments that mark a value as a simulated-time quantity.
+TIME_IDENTIFIERS = frozenset(
+    {
+        "time",
+        "cycles",
+        "completion",
+        "release",
+        "durable",
+        "now",
+        "deadline",
+        "next_scan",
+        "clock",
+        "latency",
+        "stall",
+    }
+)
+
+_ALLOW_MARK = "lint: allow("
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def declared_stats_fields(stats_path: Optional[str] = None) -> frozenset:
+    """Field names declared by ``MachineStats``, parsed from its source.
+
+    Parsing (rather than importing) keeps the lint usable on a tree that
+    does not import cleanly — the exact situation a lint is for.
+    """
+    if stats_path is None:
+        stats_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "sim",
+            "stats.py",
+        )
+    with open(stats_path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=stats_path)
+    fields: set = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == "MachineStats"):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        fields.add(target.id)
+    return frozenset(fields)
+
+
+def registered_event_kinds(events_path: Optional[str] = None) -> frozenset:
+    """Event kinds from :mod:`repro.sim.events`, parsed from its source."""
+    if events_path is None:
+        events_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "sim",
+            "events.py",
+        )
+    with open(events_path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=events_path)
+    kinds: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            kinds.add(node.value)
+    return frozenset(kinds)
+
+
+def _deterministic_module(path: str) -> bool:
+    """True when ``path`` lies inside a deterministic repro subpackage."""
+    parts = os.path.normpath(path).split(os.sep)
+    if "repro" not in parts:
+        return False
+    tail = parts[parts.index("repro") + 1 :]
+    return bool(tail) and tail[0] in DETERMINISTIC_PACKAGES
+
+
+def _time_identifier(node: ast.AST) -> Optional[str]:
+    """The time-ish identifier an operand refers to, if any."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return None
+    lowered = name.lower()
+    if lowered in TIME_IDENTIFIERS:
+        return name
+    for fragment in TIME_IDENTIFIERS:
+        if lowered.endswith("_" + fragment):
+            return name
+    return None
+
+
+def _is_none_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        stats_fields: frozenset,
+        event_kinds: frozenset,
+        check_wall_clock: bool,
+    ) -> None:
+        self.path = path
+        self.stats_fields = stats_fields
+        self.event_kinds = event_kinds
+        self.check_wall_clock = check_wall_clock
+        self.findings: list = []
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            LintFinding(rule, self.path, getattr(node, "lineno", 0), message)
+        )
+
+    # -- wall-clock ----------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.check_wall_clock:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in WALL_CLOCK_MODULES:
+                    self._add(
+                        "wall-clock",
+                        node,
+                        f"import of {alias.name!r} in a deterministic "
+                        "simulation module (use simulated time / the "
+                        "seeded workload RNG)",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.check_wall_clock and node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root in WALL_CLOCK_MODULES:
+                self._add(
+                    "wall-clock",
+                    node,
+                    f"import from {node.module!r} in a deterministic "
+                    "simulation module",
+                )
+        self.generic_visit(node)
+
+    # -- stats-counter -------------------------------------------------
+    def _check_stats_target(self, target: ast.AST) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        value = target.value
+        if not (isinstance(value, ast.Attribute) and value.attr in ("stats", "_stats")):
+            return
+        if target.attr not in self.stats_fields:
+            self._add(
+                "stats-counter",
+                target,
+                f"write to undeclared stats counter {target.attr!r} "
+                "(declare it on MachineStats)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_stats_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_stats_target(node.target)
+        self.generic_visit(node)
+
+    # -- float-eq ------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_none_constant(left) or _is_none_constant(right):
+                continue
+            name = _time_identifier(left) or _time_identifier(right)
+            if name is not None:
+                self._add(
+                    "float-eq",
+                    node,
+                    f"exact ==/!= on cycle-time value {name!r} "
+                    "(compare with a tolerance, or annotate the sentinel)",
+                )
+        self.generic_visit(node)
+
+    # -- event-kind ----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            kind = node.args[1].value
+            if kind not in self.event_kinds:
+                self._add(
+                    "event-kind",
+                    node,
+                    f"emit of unregistered event kind {kind!r} "
+                    "(register it in repro.sim.events.EVENT_KINDS)",
+                )
+        self.generic_visit(node)
+
+
+def lint_file(
+    path: str,
+    stats_fields: Optional[frozenset] = None,
+    event_kinds: Optional[frozenset] = None,
+) -> list:
+    """Lint one Python file; returns surviving (unsuppressed) findings."""
+    if stats_fields is None:
+        stats_fields = declared_stats_fields()
+    if event_kinds is None:
+        event_kinds = registered_event_kinds()
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(
+        path,
+        stats_fields,
+        event_kinds,
+        check_wall_clock=_deterministic_module(path),
+    )
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for finding in visitor.findings:
+        line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        if f"{_ALLOW_MARK}{finding.rule})" in line_text:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_paths(paths: Iterable[str]) -> list:
+    """Lint files and directory trees; returns all findings, sorted."""
+    stats_fields = declared_stats_fields()
+    event_kinds = registered_event_kinds()
+    files: list = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    findings: list = []
+    for path in sorted(files):
+        findings.extend(lint_file(path, stats_fields, event_kinds))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -50,6 +50,9 @@ class Core:
         self.time = 0.0
         self.instret = 0
         self.pending_completion = 0.0
+        self.tracer = None
+        """Optional tracer (set by the machine's ``tracer`` property);
+        emits one ``store`` event per retired cacheable store."""
 
     # ------------------------------------------------------------------
     def execute(self, op: MicroOp) -> Optional[object]:
@@ -121,6 +124,21 @@ class Core:
             )
             self.time += stall
         self._hierarchy.store_finish(self.core_id, op.addr, op.data, release)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.time,
+                "store",
+                self.core_id,
+                addr=op.addr,
+                size=len(op.data),
+                persistent=op.persistent,
+                txid=op.txid if op.persistent else None,
+                tid=op.tid if op.persistent else None,
+                line=result.line_addr,
+                old=result.old_data.hex(),
+                new=op.data.hex(),
+                release=release,
+            )
 
     def _exec_logstore(self, op: LogStore) -> None:
         self._retire(1)

@@ -1,0 +1,49 @@
+"""Registered trace event kinds.
+
+Every event-kind string a simulator component passes to
+:meth:`~repro.sim.trace.Tracer.emit` must be a member of
+:data:`EVENT_KINDS`.  The registry serves two purposes:
+
+* the ``event-kind`` rule of ``repro lint`` statically rejects emit calls
+  whose kind literal is not registered, so a typo (``"tx_comit"``) cannot
+  silently create a parallel event stream nobody consumes;
+* the persistency-ordering sanitizer (:mod:`repro.sanitizer`) dispatches
+  on these kinds and documents here which ones it consumes.
+
+Tests may emit ad-hoc kinds (the lint only runs over ``src/``); the
+tracer itself stays permissive at runtime so exploratory instrumentation
+is cheap.
+"""
+
+from __future__ import annotations
+
+EVENT_KINDS = frozenset(
+    {
+        # Run-level metadata written once when a checker attaches:
+        # address-space geometry, policy, log regions.
+        "meta",
+        # Transaction lifecycle (emitted by the traced machine).
+        "tx_begin",
+        "tx_commit",
+        # The durability time the runtime *reported* to the caller for a
+        # commit (the value the golden model records) — psan compares it
+        # against the COMMIT record's actual NVRAM completion.
+        "commit_reported",
+        # FWB scanner pass over the cache tags.
+        "fwb_scan",
+        # Log wrap-around forced a dirty data line back to NVRAM.
+        "log_wrap_force",
+        # Power failure instant.
+        "crash",
+        # One timed cacheable store retired by a core (heap mutation).
+        "store",
+        # A log record was placed in a circular-log slot (hardware HWL
+        # append or software log store), with wrap/displacement details.
+        "log_place",
+        # A record entered the volatile log buffer on its way to the bus.
+        "log_push",
+        # A timed write reached the NVRAM device (its durability point).
+        "nvram_write",
+    }
+)
+"""All event kinds the simulator may emit (see module docstring)."""

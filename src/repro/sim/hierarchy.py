@@ -235,7 +235,9 @@ class CacheHierarchy:
         self._stats.l1_misses += 1
         extra = self._pull_remote_dirty(core_id, line_addr, now, invalidate=False)
         llc_extra, llc_line = self._fetch_llc(line_addr, now)
-        level = "llc" if llc_extra == self.llc_latency else "mem"
+        # Sentinel compare: _fetch_llc returns exactly llc_latency on a
+        # hit (never a derived float), so equality is intentional.
+        level = "llc" if llc_extra == self.llc_latency else "mem"  # lint: allow(float-eq)
         filled = self._fill_l1(core_id, line_addr, llc_line.data, now, 0.0)
         off = addr - line_addr
         latency = self.l1_latency + llc_extra + extra + tax
@@ -266,7 +268,8 @@ class CacheHierarchy:
             self._stats.l1_misses += 1
             extra = self._pull_remote_dirty(core_id, line_addr, now, invalidate=True)
             llc_extra, llc_line = self._fetch_llc(line_addr, now)
-            level = "llc" if llc_extra == self.llc_latency else "mem"
+            # Sentinel compare, as in load() above.
+            level = "llc" if llc_extra == self.llc_latency else "mem"  # lint: allow(float-eq)
             line = self._fill_l1(core_id, line_addr, llc_line.data, now, 0.0)
             latency = self.l1_latency + llc_extra + extra + tax
         off = addr - line_addr

@@ -114,6 +114,7 @@ class Machine:
 
         self.hwl: Optional[HardwareLogging] = None
         self.log_buffer: Optional[LogBuffer] = None
+        self.log_buffers: list = []
         self.log_router: Optional[LogRouter] = None
         self.swlog: Optional[SoftwareLog] = None
         self.fwb: Optional[ForceWriteBack] = None
@@ -123,6 +124,7 @@ class Machine:
                 for _ in self.logs
             ]
             self.log_buffer = buffers[0]
+            self.log_buffers = buffers
             self.log_router = LogRouter(self.logs, buffers)
             self.hwl = HardwareLogging(
                 self.log_router,
@@ -166,9 +168,7 @@ class Machine:
             self.hierarchy.writeback_release_hook = self._flush_wcbs
         self.crashed = False
         self._ops_since_retire = 0
-        self.tracer = None
-        """Optional :class:`~repro.sim.trace.Tracer` recording tx/FWB/crash
-        events; None (the default) costs nothing."""
+        self._tracer = None
         self.fault_monitor = None
         """Optional :class:`~repro.faults.crashpoints.FaultMonitor`
         observing every retired micro-op (and, via the stats counters,
@@ -176,6 +176,31 @@ class Machine:
         :class:`~repro.errors.SimulatedCrash` to request an
         event-indexed crash; None (the default) costs one attribute
         test per op."""
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """Optional :class:`~repro.sim.trace.Tracer` recording tx/store/
+        log/FWB/crash events; None (the default) costs nothing.  Setting
+        it propagates to every component that emits events (cores, NVRAM,
+        HWL engine, log buffers, FWB scanner)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self.nvram.tracer = tracer
+        for core in self.cores:
+            core.tracer = tracer
+        if self.hwl is not None:
+            self.hwl.tracer = tracer
+        for index, buffer in enumerate(self.log_buffers):
+            buffer.tracer = tracer
+            buffer.ident = index
+        if self.fwb is not None:
+            self.fwb.tracer = tracer
 
     # ------------------------------------------------------------------
     # Address-space helpers
@@ -205,7 +230,7 @@ class Machine:
         if self.crashed:
             raise SimulationError("machine has crashed; no further execution")
         core = self.cores[core_id]
-        if self.tracer is None:
+        if self._tracer is None:
             if self.fwb is not None:
                 self.fwb.maybe_scan(core.time)
             result = core.execute(op)
@@ -222,22 +247,26 @@ class Machine:
     def _execute_traced(self, core: Core, op: MicroOp):
         from .microops import TxBegin, TxCommit
 
-        scans_before = self.stats.fwb_scans
         forces_before = self.stats.log_wrap_forced_writebacks
         if self.fwb is not None:
             self.fwb.maybe_scan(core.time)
         result = core.execute(op)
         if isinstance(op, TxBegin):
-            self.tracer.emit(core.time, "tx_begin", core.core_id, txid=op.txid)
+            self._tracer.emit(
+                core.time, "tx_begin", core.core_id, txid=op.txid, tid=op.tid
+            )
         elif isinstance(op, TxCommit):
             durable = float(result) if isinstance(result, float) else None
-            self.tracer.emit(
-                core.time, "tx_commit", core.core_id, txid=op.txid, durable=durable
+            self._tracer.emit(
+                core.time,
+                "tx_commit",
+                core.core_id,
+                txid=op.txid,
+                tid=op.tid,
+                durable=durable,
             )
-        if self.stats.fwb_scans > scans_before:
-            self.tracer.emit(core.time, "fwb_scan", core.core_id)
         if self.stats.log_wrap_forced_writebacks > forces_before:
-            self.tracer.emit(
+            self._tracer.emit(
                 core.time,
                 "log_wrap_force",
                 core.core_id,
@@ -299,8 +328,8 @@ class Machine:
         crash_time = at_time
         if crash_time is None:
             crash_time = max((core.time for core in self.cores), default=0.0)
-        if self.tracer is not None:
-            self.tracer.emit(crash_time, "crash")
+        if self._tracer is not None:
+            self._tracer.emit(crash_time, "crash")
         self.nvram.revert_after(crash_time)
         self.hierarchy.drop_all()
         for core in self.cores:

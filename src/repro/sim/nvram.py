@@ -72,6 +72,10 @@ class NVRAM:
         timed writes (stuck-at media faults) and decides what in-flight
         writes leave behind at a crash (torn writes).  None — the
         default — costs one attribute test per write."""
+        self.tracer = None
+        """Optional tracer (set by the machine's ``tracer`` property);
+        emits one ``nvram_write`` event per timed write.  ``poke`` and
+        bulk image restores are untimed setup paths and never emit."""
 
     def row_buffer_access(self, bank: int, row: int) -> bool:
         """Touch ``row`` in ``bank``'s row buffers; True on a hit."""
@@ -173,6 +177,15 @@ class NVRAM:
         self._note_write(addr, end)
         self.total_write_bytes += size
         self._account_region_write(addr, size)
+        if self.tracer is not None:
+            self.tracer.emit(
+                completion_time,
+                "nvram_write",
+                -1,
+                addr=addr,
+                size=size,
+                completion=completion_time,
+            )
 
     def poke(self, addr: int, data: bytes) -> None:
         """Write without timing, journaling, or counters (setup/recovery)."""

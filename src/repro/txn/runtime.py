@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.logrecord import LogRecord, RecordKind
 from ..core.nvlog import PlacedRecord
 from ..core.policy import Policy
 from ..errors import TransactionError
@@ -195,6 +196,16 @@ class ThreadAPI:
         policy = self._policy
         txid = self._txid
         durable = self._commit_for_policy(policy, txid)
+        tracer = self._machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.now,
+                "commit_reported",
+                self.core_id,
+                txid=txid,
+                tid=self.tid,
+                durable=durable,
+            )
         self._pm.golden.record(durable, self._writes)
         self._pm.golden.finalize(self.tid)
         self._txid = None
@@ -376,20 +387,49 @@ class ThreadAPI:
     # ------------------------------------------------------------------
     def _emit_log(self, placed: PlacedRecord, kind: str) -> None:
         """Issue the uncacheable store for a placed software log record."""
-        if self._policy.protects_log_wrap and placed.displaced_line is not None:
-            if self._machine.hierarchy.is_line_dirty(placed.displaced_line):
-                completion = self._machine.force_line_durable(
+        machine = self._machine
+        displaced_dirty = False
+        force_completion = None
+        if placed.displaced_line is not None and machine.hierarchy.is_line_dirty(
+            placed.displaced_line
+        ):
+            displaced_dirty = True
+            if self._policy.protects_log_wrap:
+                completion = machine.force_line_durable(
                     placed.displaced_line, self.now
                 )
+                force_completion = completion
                 # The overwriting record must not become durable before
                 # the displaced data line (a crash in between would lose
                 # the only durable copy of that line's committed value),
                 # so the log store stalls until the force completes —
                 # the same ordering HWL._append enforces in hardware.
-                core = self._machine.cores[self.core_id]
+                core = machine.cores[self.core_id]
                 if completion > core.time:
                     core.time = completion
-        self._machine.execute(
+        tracer = machine.tracer
+        if tracer is not None:
+            record = LogRecord.decode(placed.payload)
+            tracer.emit(
+                self.now,
+                "log_place",
+                self.core_id,
+                kind=record.kind.name,
+                txid=record.txid,
+                tid=record.tid,
+                addr=record.addr if record.kind is RecordKind.DATA else None,
+                undo=record.undo.hex(),
+                redo=record.redo.hex(),
+                entry_addr=placed.addr,
+                slot=placed.slot,
+                base=machine.log.base,
+                torn=placed.payload[0] & 1,
+                displaced_line=placed.displaced_line,
+                displaced_dirty=displaced_dirty,
+                force_completion=force_completion,
+                release=None,
+            )
+        machine.execute(
             self.core_id, LogStore(placed.addr, placed.payload, kind)
         )
 

@@ -8,7 +8,7 @@ implemented with the classic rejection-free inverse-CDF table.
 
 from __future__ import annotations
 
-import random
+import random  # lint: allow(wall-clock) every Random here is explicitly seeded
 
 
 def thread_rng(seed: int, tid: int) -> random.Random:

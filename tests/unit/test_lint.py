@@ -1,0 +1,144 @@
+"""Tests for the determinism/accounting lint."""
+
+import os
+import textwrap
+
+from repro.sanitizer.lint import (
+    LintFinding,
+    declared_stats_fields,
+    lint_file,
+    lint_paths,
+    registered_event_kinds,
+)
+
+STATS = frozenset({"instructions", "fwb_writebacks"})
+KINDS = frozenset({"tx_begin", "store"})
+
+
+def write(tmp_path, relpath, body):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return str(path)
+
+
+def run(tmp_path, relpath, body):
+    return lint_file(write(tmp_path, relpath, body), STATS, KINDS)
+
+
+class TestWallClock:
+    def test_random_import_in_sim_fires(self, tmp_path):
+        findings = run(tmp_path, "repro/sim/x.py", "import random\n")
+        assert [f.rule for f in findings] == ["wall-clock"]
+
+    def test_from_import_fires(self, tmp_path):
+        findings = run(tmp_path, "repro/core/x.py", "from time import sleep\n")
+        assert [f.rule for f in findings] == ["wall-clock"]
+
+    def test_harness_layer_is_exempt(self, tmp_path):
+        # Process pools and retry backoff legitimately use real time.
+        assert run(tmp_path, "repro/harness/x.py", "import time\n") == []
+
+    def test_suppression_comment(self, tmp_path):
+        body = "import random  # lint: allow(wall-clock) seeded explicitly\n"
+        assert run(tmp_path, "repro/workloads/x.py", body) == []
+
+
+class TestStatsCounter:
+    def test_undeclared_counter_fires(self, tmp_path):
+        body = "def f(m):\n    m.stats.typo_counter += 1\n"
+        findings = run(tmp_path, "x.py", body)
+        assert [f.rule for f in findings] == ["stats-counter"]
+        assert "typo_counter" in findings[0].message
+
+    def test_declared_counter_is_clean(self, tmp_path):
+        body = "def f(m):\n    m.stats.instructions += 1\n"
+        assert run(tmp_path, "x.py", body) == []
+
+    def test_private_stats_attribute_checked_too(self, tmp_path):
+        body = "def f(self):\n    self._stats.ghost = 3\n"
+        assert [f.rule for f in run(tmp_path, "x.py", body)] == ["stats-counter"]
+
+    def test_plain_attribute_write_is_not_a_stats_write(self, tmp_path):
+        # `stats.x = ...` where `stats` is a bare name is a local object,
+        # not a machine-stats attribute chain.
+        body = "def f(stats, r):\n    stats.psan_report = r\n"
+        assert run(tmp_path, "x.py", body) == []
+
+
+class TestFloatEq:
+    def test_equality_on_time_name_fires(self, tmp_path):
+        body = "def f(a, completion_time):\n    return a == completion_time\n"
+        assert [f.rule for f in run(tmp_path, "x.py", body)] == ["float-eq"]
+
+    def test_inequality_on_attribute_fires(self, tmp_path):
+        body = "def f(a, b):\n    return a.completion != b\n"
+        assert [f.rule for f in run(tmp_path, "x.py", body)] == ["float-eq"]
+
+    def test_none_sentinel_is_exempt(self, tmp_path):
+        body = "def f(deadline):\n    return deadline == None\n"
+        assert run(tmp_path, "x.py", body) == []
+
+    def test_ordering_comparisons_are_fine(self, tmp_path):
+        body = "def f(a, deadline):\n    return a <= deadline\n"
+        assert run(tmp_path, "x.py", body) == []
+
+    def test_non_time_names_are_fine(self, tmp_path):
+        body = "def f(kind, other):\n    return kind == other\n"
+        assert run(tmp_path, "x.py", body) == []
+
+
+class TestEventKind:
+    def test_unregistered_kind_fires(self, tmp_path):
+        body = "def f(t):\n    t.emit(1.0, 'tx_bgin', 0)\n"
+        findings = run(tmp_path, "x.py", body)
+        assert [f.rule for f in findings] == ["event-kind"]
+        assert "tx_bgin" in findings[0].message
+
+    def test_registered_kind_is_clean(self, tmp_path):
+        body = "def f(t):\n    t.emit(1.0, 'store', 0)\n"
+        assert run(tmp_path, "x.py", body) == []
+
+    def test_non_emit_calls_ignored(self, tmp_path):
+        body = "def f(t):\n    t.send(1.0, 'bogus', 0)\n"
+        assert run(tmp_path, "x.py", body) == []
+
+
+class TestRegistries:
+    def test_declared_stats_fields_parse_real_source(self):
+        fields = declared_stats_fields()
+        assert "instructions" in fields
+        assert "fwb_writebacks" in fields
+
+    def test_registered_event_kinds_parse_real_source(self):
+        kinds = registered_event_kinds()
+        assert {"tx_begin", "tx_commit", "store", "log_place",
+                "nvram_write"} <= kinds
+
+    def test_repo_source_tree_is_clean(self):
+        # The CI gate: the shipped tree must lint clean.
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))),
+            "src", "repro",
+        )
+        findings = lint_paths([src])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestPlumbing:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        write(tmp_path, "repro/sim/a.py", "import random\n")
+        write(tmp_path, "repro/sim/b.py", "import secrets\n")
+        findings = lint_paths([str(tmp_path)])
+        assert len(findings) == 2
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.rule)
+        )
+
+    def test_finding_render_and_dict(self):
+        finding = LintFinding("float-eq", "x.py", 3, "msg")
+        assert finding.render() == "x.py:3: [float-eq] msg"
+        assert finding.to_dict() == {
+            "rule": "float-eq", "path": "x.py", "line": 3, "message": "msg",
+        }

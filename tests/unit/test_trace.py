@@ -30,6 +30,62 @@ class TestTracer:
         with pytest.raises(AttributeError):
             event.kind = "b"
 
+    def test_kind_strings_are_interned(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "store" + "x"[:0], 0)  # defeat literal interning
+        tracer.emit(2.0, "store", 1)
+        first, second = tracer.events()
+        assert first.kind is second.kind
+
+    def test_detail_key_may_shadow_parameter_names(self):
+        # emit's leading params are positional-only so log records can
+        # carry their own `kind` (and `time`, `core`) in detail.
+        tracer = Tracer()
+        tracer.emit(1.0, "log_place", 0, kind="COMMIT", time=99)
+        event = tracer.events()[0]
+        assert event.kind == "log_place"
+        assert event.detail == {"kind": "COMMIT", "time": 99}
+
+    def test_dropped_counter_and_summary(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit(float(i), "x", 0)
+        assert tracer.dropped == 7
+        assert "dropped (capacity)" in tracer.summary()
+        assert "7" in tracer.summary()
+
+    def test_no_drop_no_summary_line(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x", 0)
+        assert tracer.dropped == 0
+        assert "dropped" not in tracer.summary()
+
+    def test_subscribers_see_evicted_events(self):
+        tracer = Tracer(capacity=2)
+        seen = []
+        tracer.subscribe(seen.append)
+        for i in range(5):
+            tracer.emit(float(i), "x", 0)
+        assert len(seen) == 5  # ring kept 2, listener saw all
+        tracer.unsubscribe(seen.append)
+        tracer.emit(9.0, "x", 0)
+        assert len(seen) == 5
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(1.0, "tx_begin", 0, tid=0, txid=7)
+        tracer.emit(2.5, "store", 1, addr=0x1234)
+        path = str(tmp_path / "trace.jsonl")
+        assert tracer.to_jsonl(path) == 2
+        loaded = Tracer.from_jsonl(path)
+        assert [
+            (e.time, e.kind, e.core, e.detail) for e in loaded.events()
+        ] == [
+            (1.0, "tx_begin", 0, {"tid": 0, "txid": 7}),
+            (2.5, "store", 1, {"addr": 0x1234}),
+        ]
+        assert loaded.dropped == 0
+
 
 class TestMachineIntegration:
     def _run(self, logging=None):
