@@ -3,15 +3,21 @@ Undo+Redo Logging for Persistent Memory Systems* (HPCA 2018).
 
 Public API quickstart::
 
-    from repro import Machine, Policy, PersistentMemory, SystemConfig
+    from repro import DESIGNS, Machine, PersistentMemory, SystemConfig
 
-    machine = Machine(SystemConfig(), Policy.FWB)
+    machine = Machine(SystemConfig(), DESIGNS.resolve("fwb"))
     pm = PersistentMemory(machine)
     api = pm.api(core_id=0)
     addr = pm.heap.alloc(8)
     with api.transaction():
         api.write(addr, (42).to_bytes(8, "little"))
     stats = machine.finalize()
+
+The designs are compositions of orthogonal mechanisms
+(:class:`~repro.core.design.DesignSpec`): ``DESIGNS.resolve`` accepts
+the paper's eight names (``fwb``, ``hwl``, …) or custom mechanism
+strings like ``"hw+undo+clwb"``.  The legacy :class:`Policy` enum
+remains as a deprecated alias.
 
 Subpackages:
 
@@ -24,6 +30,7 @@ Subpackages:
   and figure.
 """
 
+from .core.design import CANONICAL_DESIGNS, DESIGNS, DesignSpec, parse_design, resolve_design
 from .core.policy import Policy
 from .core.recovery import RecoveryManager, RecoveryReport
 from .sim.config import SystemConfig
@@ -31,10 +38,15 @@ from .sim.machine import Machine
 from .sim.stats import MachineStats
 from .txn.runtime import PersistentMemory, ThreadAPI
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Policy",
+    "DesignSpec",
+    "DESIGNS",
+    "CANONICAL_DESIGNS",
+    "parse_design",
+    "resolve_design",
     "SystemConfig",
     "Machine",
     "MachineStats",

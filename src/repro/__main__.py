@@ -12,6 +12,12 @@ Commands
 ``compare``
     Run one microbenchmark under all eight designs and print the
     comparison (like ``examples/policy_comparison.py``).
+``ablate``
+    Sweep a user-chosen grid of the mechanism space (``--specs`` or the
+    ``--backends``/``--contents``/``--writebacks``/``--commits`` axes)
+    through the sweep engine; every spec whose derived
+    ``persistence_guaranteed`` is true is additionally gated by the
+    persistency-ordering sanitizer.
 ``faults``
     Run the crash-consistency fault campaign: deterministic crash points
     (micro-op retires, log drains, FWB scans, wrap forces, mid-recovery)
@@ -35,8 +41,8 @@ import argparse
 import sys
 
 from . import SystemConfig
+from .core.design import CANONICAL_DESIGNS, DESIGNS, HW_RLOG, UNSAFE_BASE, expand_grid
 from .core.lifetime import log_pass_period_seconds, log_region_lifetime_days
-from .core.policy import Policy
 from .harness import experiments
 from .harness.cache import SweepCache, cache_enabled
 from .harness.parallel import SweepHealth
@@ -173,7 +179,7 @@ def _cmd_compare(args) -> int:
     prepared = prepare_workload(workload)
     print(f"{'design':12s} {'throughput':>11s} {'IPC':>7s} {'instrs':>9s} "
           f"{'NVRAM wr KB':>11s}")
-    for policy in Policy:
+    for policy in CANONICAL_DESIGNS:
         stats = run_workload(
             workload,
             RunConfig(
@@ -186,6 +192,70 @@ def _cmd_compare(args) -> int:
             f"{stats.instructions:9d} {stats.nvram_write_bytes / 1024:11.1f}"
         )
     return 0
+
+
+def _cmd_ablate(args) -> int:
+    if args.specs:
+        designs = []
+        for token in args.specs.split(","):
+            spec = DESIGNS.resolve(token.strip())
+            if spec not in designs:
+                designs.append(spec)
+    else:
+        designs = expand_grid(
+            args.backends.split(","),
+            args.contents.split(","),
+            args.writebacks.split(","),
+            args.commits.split(","),
+        )
+    if not designs:
+        print("ablate: the requested grid contains no valid design", file=sys.stderr)
+        return 2
+
+    benchmarks = args.benchmarks.split(",")
+    threads_list = tuple(int(t) for t in args.threads.split(","))
+    cache = _sweep_cache(args)
+    health = SweepHealth()
+    psan_report = None
+    if not args.no_psan and any(spec.persistence_guaranteed for spec in designs):
+        from .sanitizer import PsanSweepReport
+
+        psan_report = PsanSweepReport()
+    sweep = run_micro_sweep(
+        benchmarks=benchmarks,
+        threads=threads_list,
+        policies=designs,
+        txns_per_thread=args.txns,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        cell_timeout=args.cell_timeout,
+        health=health,
+        psan_report=psan_report,
+    )
+    print(
+        f"design-space ablation: {len(designs)} design(s) x "
+        f"{benchmarks} x threads {list(threads_list)}, "
+        f"{args.txns} txns/thread, seed {args.seed}"
+    )
+    print(
+        f"{'benchmark':10s} {'thr':>3s} {'design':20s} {'mechanisms':26s} "
+        f"{'guar':>4s} {'throughput':>11s} {'IPC':>7s} {'NVRAM-wr-KB':>11s}"
+    )
+    for benchmark in sweep.benchmarks():
+        for threads in sweep.thread_counts():
+            for spec in sweep.policies():
+                stats = sweep.stats(benchmark, threads, spec)
+                print(
+                    f"{benchmark:10s} {threads:3d} {spec.value:20s} "
+                    f"{spec.mechanism_string():26s} "
+                    f"{'yes' if spec.persistence_guaranteed else 'no':>4s} "
+                    f"{stats.throughput:11.1f} {stats.ipc:7.3f} "
+                    f"{stats.nvram_write_bytes / 1024:11.1f}"
+                )
+    _report_cache(cache)
+    _report_health(health)
+    return 0 if _report_psan(psan_report) else 1
 
 
 def _cmd_validate(args) -> int:
@@ -255,7 +325,7 @@ def _cmd_psan(args) -> int:
 
     benchmarks = args.benchmarks.split(",")
     threads_list = [int(t) for t in args.threads.split(",")]
-    policies = [Policy.from_name(name) for name in args.policies.split(",")]
+    policies = [DESIGNS.resolve(name) for name in args.policies.split(",")]
     if args.save_trace:
         os.makedirs(args.save_trace, exist_ok=True)
 
@@ -289,7 +359,7 @@ def _cmd_psan(args) -> int:
     if not args.no_adversarial:
         probe_bench = benchmarks[0]
         prepared = prepare_workload(make_microbenchmark(probe_bench, seed=args.seed))
-        for policy in (Policy.UNSAFE_BASE, Policy.HW_RLOG):
+        for policy in (UNSAFE_BASE, HW_RLOG):
             report = run_psan(
                 probe_bench,
                 policy,
@@ -368,7 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("tables").set_defaults(fn=_cmd_tables)
 
-    def _sweep_flags(cmd) -> None:
+    def _sweep_flags(cmd, psan: bool = True) -> None:
         cmd.add_argument(
             "--jobs",
             type=int,
@@ -388,13 +458,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-cell wait bound for parallel sweeps; hung workers "
             "are terminated, the cell retried, then run serially",
         )
-        cmd.add_argument(
-            "--psan",
-            action="store_true",
-            help="run every sweep cell under the persistency-ordering "
-            "sanitizer (bypasses the result cache); non-zero exit on "
-            "any violation",
-        )
+        if psan:
+            cmd.add_argument(
+                "--psan",
+                action="store_true",
+                help="run every sweep cell under the persistency-ordering "
+                "sanitizer (bypasses the result cache); non-zero exit on "
+                "any violation",
+            )
 
     figure = sub.add_parser("figure")
     figure.add_argument("id", choices=["6", "7", "8", "9", "10", "11a", "11b"])
@@ -409,6 +480,52 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threads", type=int, default=1)
     compare.add_argument("--txns", type=int, default=200)
     compare.set_defaults(fn=_cmd_compare)
+    ablate = sub.add_parser(
+        "ablate",
+        help="sweep a custom grid of the mechanism design space",
+    )
+    ablate.add_argument(
+        "--specs",
+        default=None,
+        help="comma-separated designs: registered names and/or mechanism "
+        "strings, e.g. 'fwb,hw+undo+clwb,sw+redo+fwb' (overrides the "
+        "axis flags)",
+    )
+    ablate.add_argument(
+        "--backends",
+        default="hw,sw",
+        help="log-backend axis values: hw, sw, none (default: hw,sw)",
+    )
+    ablate.add_argument(
+        "--contents",
+        default="undo,redo,undo+redo",
+        help="log-content axis values (default: undo,redo,undo+redo)",
+    )
+    ablate.add_argument(
+        "--writebacks",
+        default="none,clwb,fwb",
+        help="write-back axis values (default: none,clwb,fwb)",
+    )
+    ablate.add_argument(
+        "--commits",
+        default="fenced",
+        help="commit-protocol axis values: fenced, instant (default: fenced)",
+    )
+    ablate.add_argument(
+        "--benchmarks", default="hash", help="comma-separated microbenchmarks"
+    )
+    ablate.add_argument(
+        "--threads", default="1", help="comma-separated thread counts"
+    )
+    ablate.add_argument("--txns", type=int, default=60)
+    ablate.add_argument("--seed", type=int, default=42)
+    ablate.add_argument(
+        "--no-psan",
+        action="store_true",
+        help="skip the sanitizer gate applied to guarantee-claiming specs",
+    )
+    _sweep_flags(ablate, psan=False)
+    ablate.set_defaults(fn=_cmd_ablate)
     faults = sub.add_parser(
         "faults",
         help="crash-point × fault-type × policy consistency campaign",

@@ -10,10 +10,24 @@
 * :mod:`~repro.core.hwl` — the Hardware Logging (HWL) engine;
 * :mod:`~repro.core.fwb` — the cache Force Write-Back (FWB) mechanism;
 * :mod:`~repro.core.softlog` — the software logging baselines;
-* :mod:`~repro.core.policy` — the eight evaluated designs;
+* :mod:`~repro.core.design` — the composable mechanism space
+  (:class:`~repro.core.design.DesignSpec`) and the registry of the
+  paper's eight canonical designs;
+* :mod:`~repro.core.policy` — the legacy enum alias over the registry;
 * :mod:`~repro.core.recovery` — post-crash log replay.
 """
 
+from .design import (
+    CANONICAL_DESIGNS,
+    DESIGNS,
+    CommitProtocol,
+    DesignSpec,
+    LogBackend,
+    LogContent,
+    Writeback,
+    parse_design,
+    resolve_design,
+)
 from .growlog import GrowableCircularLog, RegionDirectory
 from .lifetime import log_region_lifetime_days, wear_report
 from .logrecord import LogRecord, RecordKind
@@ -34,6 +48,15 @@ __all__ = [
     "log_region_lifetime_days",
     "wear_report",
     "Policy",
+    "DesignSpec",
+    "DESIGNS",
+    "CANONICAL_DESIGNS",
+    "LogBackend",
+    "LogContent",
+    "Writeback",
+    "CommitProtocol",
+    "parse_design",
+    "resolve_design",
     "RecoveryManager",
     "RecoveryReport",
 ]

@@ -1,5 +1,10 @@
 """Cache Force Write-Back (FWB) mechanism (Sections III-C, IV-D).
 
+This scanner is the ``fwb`` value of the write-back axis in the
+mechanism space (:mod:`repro.core.design`): the machine arms it for any
+design with ``DesignSpec.uses_fwb``, canonical or composed (e.g. the
+``sw+redo+fwb`` ablation point), independently of the log backend.
+
 Each cache line carries an ``fwb`` bit alongside its dirty bit, driving a
 three-state machine maintained by the cache controller:
 

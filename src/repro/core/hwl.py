@@ -1,5 +1,11 @@
 """Hardware Logging (HWL) engine (Section III-B).
 
+In the mechanism space (:mod:`repro.core.design`) this engine *is* the
+``hw`` log-backend axis value: the machine instantiates it whenever
+``DesignSpec.uses_hw_logging`` holds, and the ``log_content`` axis
+selects which record sides (:meth:`record_undo` / :meth:`record_redo`)
+are driven.
+
 HWL piggybacks on the write-back write-allocate cache policies: every
 persistent store already brings the *old* value (the write-allocated line)
 and the *new* value (the in-flight store) together in the L1 cache

@@ -1,4 +1,14 @@
-"""The eight evaluated persistence designs (Section VI).
+"""Deprecated alias layer: the eight paper designs as an enum.
+
+The persistence designs are modelled by :mod:`repro.core.design` as
+compositions of orthogonal mechanisms (:class:`~repro.core.design.DesignSpec`);
+this module keeps the historical :class:`Policy` enum alive as a thin
+alias so external call sites keep working.  Every structural property
+delegates to the member's canonical spec, and members hash/compare equal
+to that spec, so a dict keyed by specs can be probed with enum members
+and vice versa.
+
+New code should use :mod:`repro.core.design` directly.
 
 ========== =====================================================
 name       meaning
@@ -22,9 +32,16 @@ from __future__ import annotations
 
 import enum
 
+from .design import DESIGNS, DesignSpec
+
 
 class Policy(enum.Enum):
-    """Persistence design evaluated by the paper."""
+    """Persistence design evaluated by the paper (deprecated alias).
+
+    Each member is a named handle on a canonical
+    :class:`~repro.core.design.DesignSpec`; all predicates are derived
+    from the spec's mechanism fields.
+    """
 
     NON_PERS = "non-pers"
     UNSAFE_BASE = "unsafe-base"
@@ -38,69 +55,87 @@ class Policy(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Policy):
+            return self is other
+        if isinstance(other, DesignSpec):
+            return self.design == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Hash like the canonical spec so dicts keyed by DesignSpec can
+        # be probed with Policy members (and the reverse).
+        return hash(self.design)
+
+    @property
+    def design(self) -> DesignSpec:
+        """The canonical :class:`~repro.core.design.DesignSpec`."""
+        return DESIGNS.get(self.value)
+
     @classmethod
     def from_name(cls, name: str) -> "Policy":
-        """Look a policy up by its paper name (e.g. ``"fwb"``)."""
-        for policy in cls:
-            if policy.value == name:
-                return policy
-        raise ValueError(f"unknown policy {name!r}")
+        """Look a policy up by its paper name (e.g. ``"fwb"``).
+
+        Unknown names raise ``ValueError`` with "did you mean"
+        suggestions from the design registry.
+        """
+        policy = _BY_NAME.get(name)
+        if policy is None:
+            DESIGNS.get(name)  # raises with suggestions
+            raise ValueError(f"unknown policy {name!r}")  # pragma: no cover
+        return policy
 
     # ------------------------------------------------------------------
-    # Structural properties
+    # Structural properties (all delegated to the canonical spec)
     # ------------------------------------------------------------------
     @property
     def uses_hw_logging(self) -> bool:
         """True when the HWL engine generates log records in hardware."""
-        return self in (Policy.HW_RLOG, Policy.HW_ULOG, Policy.HWL, Policy.FWB)
+        return self.design.uses_hw_logging
 
     @property
     def uses_sw_logging(self) -> bool:
         """True when logging executes as instructions in the pipeline."""
-        return self in (Policy.UNSAFE_BASE, Policy.REDO_CLWB, Policy.UNDO_CLWB)
+        return self.design.uses_sw_logging
 
     @property
     def logs_undo(self) -> bool:
         """True when old values are logged."""
-        return self in (
-            Policy.UNSAFE_BASE,
-            Policy.UNDO_CLWB,
-            Policy.HW_ULOG,
-            Policy.HWL,
-            Policy.FWB,
-        )
+        return self.design.logs_undo
 
     @property
     def logs_redo(self) -> bool:
         """True when new values are logged."""
-        return self in (Policy.REDO_CLWB, Policy.HW_RLOG, Policy.HWL, Policy.FWB)
+        return self.design.logs_redo
 
     @property
     def uses_clwb_at_commit(self) -> bool:
         """True when transactions issue clwb over their write set."""
-        return self in (Policy.REDO_CLWB, Policy.UNDO_CLWB, Policy.HWL)
+        return self.design.uses_clwb_at_commit
 
     @property
     def uses_fwb(self) -> bool:
         """True when the hardware FWB scanner is active."""
-        return self is Policy.FWB
+        return self.design.uses_fwb
 
     @property
     def defers_in_place_stores(self) -> bool:
         """Software redo logging: in-place stores wait for log completion
         (the Figure 1(b) memory barrier)."""
-        return self is Policy.REDO_CLWB
+        return self.design.defers_in_place_stores
 
     @property
     def persistence_guaranteed(self) -> bool:
         """True when a crash at any instant is recoverable."""
-        return self in (Policy.REDO_CLWB, Policy.UNDO_CLWB, Policy.HWL, Policy.FWB)
+        return self.design.persistence_guaranteed
 
     @property
     def protects_log_wrap(self) -> bool:
         """True when overwriting a log entry forces its data line durable."""
-        return self.persistence_guaranteed
+        return self.design.protects_log_wrap
 
+
+_BY_NAME = {policy.value: policy for policy in Policy}
 
 MICROBENCH_POLICIES = tuple(Policy)
 """All eight designs, in the order the paper's figures present them."""

@@ -1,5 +1,12 @@
 """Post-crash recovery (Section IV-F), hardened against damaged logs.
 
+Recovery is design-agnostic: replay consumes whatever record sides the
+design's ``log_content`` axis (:mod:`repro.core.design`) put in the log
+— redo values for committed instances, undo values for uncommitted ones
+— so the same manager serves every point of the mechanism space, and the
+fault campaign exercises it against composed specs as well as the
+paper's eight.
+
 Steps, mirroring the paper:
 
 1. Locate the valid log window.  The circular log's torn bit is constant

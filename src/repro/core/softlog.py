@@ -1,5 +1,10 @@
 """Software logging baselines (Figure 1 / Figure 2(a) of the paper).
 
+This module is the ``sw`` log-backend axis value in the mechanism space
+(:mod:`repro.core.design`); the machine wires it for any design with
+``DesignSpec.uses_sw_logging`` and passes the ``log_content`` axis down
+as the ``record_undo`` / ``record_redo`` constructor flags.
+
 Software logging runs as *instructions*: per logged word an undo scheme
 loads the old value and stores a log record; a redo scheme stores the new
 value to the log before the in-place store may proceed.  This module only

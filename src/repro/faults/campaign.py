@@ -33,8 +33,18 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.design import (
+    FWB,
+    HW_RLOG,
+    HW_ULOG,
+    HWL,
+    REDO_CLWB,
+    UNDO_CLWB,
+    UNSAFE_BASE,
+    DesignSpec,
+    resolve_design,
+)
 from ..core.nvlog import CircularLog
-from ..core.policy import Policy
 from ..core.recovery import RecoveryManager
 from ..errors import RecoveryInterrupted, SimulatedCrash, WorkloadError
 from ..harness.runner import PreparedWorkload, prepare_workload
@@ -55,10 +65,10 @@ from .crashpoints import CrashPoint, EventKind, FaultMonitor, sample_indices
 from .plan import FaultInjector, GhostRecord, TornWrite
 
 #: The four designs the paper guarantees recoverability for.
-GUARANTEED_POLICIES = (Policy.FWB, Policy.HWL, Policy.UNDO_CLWB, Policy.REDO_CLWB)
+GUARANTEED_POLICIES = (FWB, HWL, UNDO_CLWB, REDO_CLWB)
 
 #: Designs the campaign may run but which promise nothing.
-UNGUARANTEED_POLICIES = (Policy.UNSAFE_BASE, Policy.HW_RLOG, Policy.HW_ULOG)
+UNGUARANTEED_POLICIES = (UNSAFE_BASE, HW_RLOG, HW_ULOG)
 
 FAULT_NONE = "none"
 FAULT_TORN = "torn"
@@ -134,9 +144,9 @@ class PointResult:
 
 @dataclass
 class PolicyReport:
-    """All point outcomes for one policy."""
+    """All point outcomes for one design."""
 
-    policy: Policy
+    policy: DesignSpec
     points: List[PointResult] = field(default_factory=list)
 
     @property
@@ -305,7 +315,7 @@ def _drive(machine: Machine, generators: Sequence) -> None:
 
 def _fresh_run(
     prepared: PreparedWorkload,
-    policy: Policy,
+    policy: DesignSpec,
     threads: int,
     txns_per_thread: int,
     monitor: Optional[FaultMonitor],
@@ -417,7 +427,7 @@ def _torn_injector(system: SystemConfig) -> FaultInjector:
 
 def _run_execution_point(
     prepared: PreparedWorkload,
-    policy: Policy,
+    policy: DesignSpec,
     point: FaultPoint,
     threads: int,
     txns_per_thread: int,
@@ -487,7 +497,7 @@ class _RecoveryScenario:
 
 def _build_recovery_scenario(
     prepared: PreparedWorkload,
-    policy: Policy,
+    policy: DesignSpec,
     threads: int,
     txns_per_thread: int,
     retire_total: int,
@@ -557,22 +567,22 @@ def _run_recovery_point(
 # ----------------------------------------------------------------------
 # Campaign driver
 # ----------------------------------------------------------------------
-def resolve_policies(spec: str) -> Tuple[Policy, ...]:
-    """Turn a CLI policy spec into a policy tuple.
+def resolve_policies(spec: str) -> Tuple[DesignSpec, ...]:
+    """Turn a CLI design spec into a design tuple.
 
     ``"guaranteed"`` → the four guaranteed designs; ``"all"`` → those
-    plus every unguaranteed logging design; otherwise a single policy
-    name (e.g. ``"fwb"``).
+    plus every unguaranteed logging design; otherwise a single design
+    name (e.g. ``"fwb"``) or custom mechanism string (``"hw+undo+clwb"``).
     """
     if spec == "guaranteed":
         return GUARANTEED_POLICIES
     if spec == "all":
         return GUARANTEED_POLICIES + UNGUARANTEED_POLICIES
-    return (Policy.from_name(spec),)
+    return (resolve_design(spec),)
 
 
 def run_fault_campaign(
-    policies: Iterable[Policy] = GUARANTEED_POLICIES,
+    policies: Iterable = GUARANTEED_POLICIES,
     workload: str = "hash",
     points: int = 60,
     txns_per_thread: int = 60,
@@ -601,7 +611,8 @@ def run_fault_campaign(
         seed=seed,
     )
     for policy in policies:
-        # 1. Profile the event streams of this policy's run.
+        policy = resolve_design(policy)
+        # 1. Profile the event streams of this design's run.
         profile = FaultMonitor()
         machine, _pm, _ = _fresh_run(
             prepared, policy, threads, txns_per_thread, profile

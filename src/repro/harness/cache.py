@@ -2,11 +2,18 @@
 
 A sweep cell's :class:`~repro.sim.stats.MachineStats` is a pure function
 of its configuration: the simulator is deterministic, so (system config,
-policy, workload identity, thread count, transactions per thread) fully
-determines the outcome.  :class:`SweepCache` exploits that by storing each
-cell's stats as one JSON file named by the SHA-256 of a canonical encoding
-of exactly those inputs — repeated figure or validation runs then skip
-every already-computed cell.
+design-spec mechanisms, workload identity, thread count, transactions per
+thread) fully determines the outcome.  :class:`SweepCache` exploits that
+by storing each cell's stats as one JSON file named by the SHA-256 of a
+canonical encoding of exactly those inputs — repeated figure or
+validation runs then skip every already-computed cell.
+
+Keys hash the design's *mechanism fields*
+(:meth:`~repro.core.design.DesignSpec.key_material`), not its display
+name: a custom ablation spec that happens to share mechanisms with a
+canonical design (e.g. ``hw+undo+redo+fwb`` vs ``fwb``) shares its cache
+entries, while specs differing in any single mechanism — even just the
+write-back discipline — can never collide.
 
 Invalidation is by construction: any change to the key inputs (including
 the workload's public attributes, via
@@ -32,14 +39,15 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from ..core.policy import Policy
+from ..core.design import resolve_design
 from ..sim.config import SystemConfig
 from ..sim.stats import MachineStats
 from ..workloads.base import Workload
 
 #: Bump whenever a simulator change alters any cell's stats — every key
 #: includes it, so old entries become unreachable (not merely stale).
-CODE_SALT = "sweep-v1"
+#: (v2: keys switched from policy names to design-spec mechanisms.)
+CODE_SALT = "sweep-v2"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_DISABLE = "REPRO_SWEEP_CACHE"
@@ -102,16 +110,21 @@ class SweepCache:
     def key(
         self,
         system: SystemConfig,
-        policy: Policy,
+        policy,
         workload: Workload,
         threads: int,
         txns_per_thread: int,
     ) -> str:
-        """Content hash of everything that determines a cell's stats."""
+        """Content hash of everything that determines a cell's stats.
+
+        ``policy`` is anything design-shaped (spec, legacy enum member,
+        or string); the hash covers its mechanism fields, never its
+        display name.
+        """
         material = {
             "salt": self.salt,
             "system": dataclasses.asdict(system),
-            "policy": policy.value,
+            "design": resolve_design(policy).key_material(),
             "workload": workload.identity_key(),
             "threads": threads,
             "txns_per_thread": txns_per_thread,

@@ -13,8 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..core.design import (
+    CANONICAL_DESIGNS,
+    FWB,
+    NON_PERS,
+    REDO_CLWB,
+    UNDO_CLWB,
+    UNSAFE_BASE,
+)
 from ..core.fwb import required_scan_frequency, required_scan_interval
-from ..core.policy import MICROBENCH_POLICIES, Policy
 from ..sim.config import SystemConfig
 from ..workloads import MICROBENCHMARKS
 from ..workloads.hashtable import HashTableWorkload
@@ -53,7 +60,7 @@ def _normalized_rows(sweep: SweepResult, metric, invert: bool = False) -> tuple:
     data = {}
     for benchmark in sweep.benchmarks():
         for threads in sweep.thread_counts():
-            base = metric(sweep.stats(benchmark, threads, Policy.UNSAFE_BASE))
+            base = metric(sweep.stats(benchmark, threads, UNSAFE_BASE))
             row = [bench_label(benchmark, threads)]
             cell = {}
             for policy in policies:
@@ -152,12 +159,12 @@ WHISPER_METRICS = ("ipc", "memory_energy", "throughput", "nvram_writes")
 
 def figure10_whisper(
     kernels: Iterable[str] = tuple(WHISPER_KERNELS),
-    policies: Iterable[Policy] = (
-        Policy.NON_PERS,
-        Policy.UNSAFE_BASE,
-        Policy.REDO_CLWB,
-        Policy.UNDO_CLWB,
-        Policy.FWB,
+    policies: Iterable = (
+        NON_PERS,
+        UNSAFE_BASE,
+        REDO_CLWB,
+        UNDO_CLWB,
+        FWB,
     ),
     threads: int = 1,
     txns_per_thread: int = 150,
@@ -183,7 +190,7 @@ def figure10_whisper(
     rows = []
     data = {}
     for kernel in sweep.benchmarks():
-        base = sweep.stats(kernel, threads, Policy.UNSAFE_BASE)
+        base = sweep.stats(kernel, threads, UNSAFE_BASE)
         for policy in sweep.policies():
             stats = sweep.stats(kernel, threads, policy)
             cell = {
@@ -242,7 +249,7 @@ def figure11a_log_buffer(
         outcome = run_workload(
             workload,
             RunConfig(
-                policy=Policy.FWB,
+                policy=FWB,
                 threads=1,
                 txns_per_thread=txns_per_thread,
                 system=cfg,
@@ -390,10 +397,10 @@ def summarize_fwb_gain(sweep: SweepResult, threads: int) -> float:
     """
     gains = []
     for benchmark in sweep.benchmarks():
-        fwb = sweep.stats(benchmark, threads, Policy.FWB).throughput
+        fwb = sweep.stats(benchmark, threads, FWB).throughput
         best_sw = max(
-            sweep.stats(benchmark, threads, Policy.REDO_CLWB).throughput,
-            sweep.stats(benchmark, threads, Policy.UNDO_CLWB).throughput,
+            sweep.stats(benchmark, threads, REDO_CLWB).throughput,
+            sweep.stats(benchmark, threads, UNDO_CLWB).throughput,
         )
         gains.append(speedup(fwb, best_sw))
     return geomean(gains)
@@ -405,4 +412,4 @@ def _replace(config, **changes):
     return replace(config, **changes)
 
 
-_ = MICROBENCH_POLICIES  # re-exported via sweep; kept for discoverability
+_ = CANONICAL_DESIGNS  # the paper's design set; kept for discoverability

@@ -1,6 +1,6 @@
 """Single-experiment driver.
 
-Builds a machine under a policy, sets a workload up (untimed), then runs
+Builds a machine under a design spec, sets a workload up (untimed), then runs
 one transaction-generator per thread, always advancing the thread whose
 core clock is furthest behind — a fair interleaving in which the shared
 LLC and NVRAM banks see time-ordered contention.
@@ -13,7 +13,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..core.policy import Policy
+from ..core.design import NON_PERS, DesignSpec, resolve_design
 from ..errors import WorkloadError
 from ..sim.config import SystemConfig
 from ..sim.machine import Machine
@@ -43,13 +43,22 @@ def default_experiment_config(**overrides) -> SystemConfig:
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Parameters of one simulated run."""
+    """Parameters of one simulated run.
 
-    policy: Policy
+    ``policy`` accepts anything design-shaped (a
+    :class:`~repro.core.design.DesignSpec`, a legacy ``Policy`` member,
+    or a name / mechanism string) and normalizes to the spec.
+    """
+
+    policy: DesignSpec
     threads: int = 1
     txns_per_thread: int = 200
     system: Optional[SystemConfig] = None
     seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, DesignSpec):
+            object.__setattr__(self, "policy", resolve_design(self.policy))
 
 
 @dataclass
@@ -101,7 +110,7 @@ def prepare_workload(
 ) -> PreparedWorkload:
     """Run ``workload.setup`` once and capture the initial NVRAM state."""
     system = system or default_experiment_config()
-    machine = Machine(system, Policy.NON_PERS)
+    machine = Machine(system, NON_PERS)
     pm = PersistentMemory(machine)
     workload.setup(pm)
     # Setup writes into a zeroed device, so only the written extent can
@@ -122,7 +131,7 @@ def prepare_workload(
 class RunOutcome:
     """Everything a finished run exposes."""
 
-    policy: Policy
+    policy: DesignSpec
     threads: int
     stats: MachineStats
     machine: Machine = field(repr=False)

@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
 
-from ..core.policy import MICROBENCH_POLICIES, Policy
+from ..core.design import DesignSpec, canonical_order, resolve_design
+from ..core.policy import MICROBENCH_POLICIES
 from ..sim.config import SystemConfig
 from ..sim.stats import MachineStats
 from ..workloads import make_microbenchmark
@@ -36,11 +37,21 @@ from .runner import default_experiment_config, prepare_workload
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One point in the sweep matrix."""
+    """One point in the sweep matrix.
+
+    ``policy`` accepts anything design-shaped — a
+    :class:`~repro.core.design.DesignSpec`, a legacy ``Policy`` member,
+    or a name / mechanism string — and normalizes to the spec, so cells
+    built from either representation compare and hash identically.
+    """
 
     benchmark: str
     threads: int
-    policy: Policy
+    policy: DesignSpec
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, DesignSpec):
+            object.__setattr__(self, "policy", resolve_design(self.policy))
 
 
 @dataclass
@@ -49,7 +60,7 @@ class SweepResult:
 
     cells: Dict[SweepCell, MachineStats] = field(default_factory=dict)
 
-    def stats(self, benchmark: str, threads: int, policy: Policy) -> MachineStats:
+    def stats(self, benchmark: str, threads: int, policy) -> MachineStats:
         """Stats for one cell (KeyError if the cell was not swept)."""
         return self.cells[SweepCell(benchmark, threads, policy)]
 
@@ -66,9 +77,13 @@ class SweepResult:
         return sorted({cell.threads for cell in self.cells})
 
     def policies(self) -> list:
-        """Policies present, in paper order."""
-        present = {cell.policy for cell in self.cells}
-        return [policy for policy in MICROBENCH_POLICIES if policy in present]
+        """Design specs present: canonical ones in paper order first,
+        then custom specs in first-seen order."""
+        present = []
+        for cell in self.cells:
+            if cell.policy not in present:
+                present.append(cell.policy)
+        return canonical_order(present)
 
     def merge(self, other: "SweepResult") -> "SweepResult":
         """Combine two results into a new one (``other`` wins on overlap).
@@ -84,7 +99,7 @@ class SweepResult:
 def run_micro_sweep(
     benchmarks: Iterable[str] = ("hash", "rbtree", "sps", "btree", "ssca2"),
     threads: Iterable[int] = (1,),
-    policies: Iterable[Policy] = MICROBENCH_POLICIES,
+    policies: Iterable = MICROBENCH_POLICIES,
     txns_per_thread: int = 200,
     system: Optional[SystemConfig] = None,
     seed: int = 42,
@@ -120,7 +135,7 @@ def run_micro_sweep(
     if psan_report is not None:
         cache = None
     threads = tuple(threads)
-    policies = tuple(policies)
+    policies = tuple(resolve_design(policy) for policy in policies)
     workloads: Dict[str, Workload] = {}
     for benchmark in benchmarks:
         if workload_factory is not None:

@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..core.design import CANONICAL_DESIGNS, FWB, HWL, NON_PERS, REDO_CLWB, UNDO_CLWB
 from ..core.fwb import required_scan_interval
-from ..core.policy import Policy
 from ..sim.config import SystemConfig
 from .experiments import summarize_fwb_gain
 from .report import format_table
@@ -90,15 +90,15 @@ def validate(
     orderings_ok = True
     for benchmark in sweep.benchmarks():
         stats = {
-            policy: sweep.stats(benchmark, threads, policy) for policy in Policy
+            policy: sweep.stats(benchmark, threads, policy) for policy in CANONICAL_DESIGNS
         }
         best_sw = max(
-            stats[Policy.REDO_CLWB].throughput, stats[Policy.UNDO_CLWB].throughput
+            stats[REDO_CLWB].throughput, stats[UNDO_CLWB].throughput
         )
-        orderings_ok &= stats[Policy.NON_PERS].throughput >= stats[Policy.FWB].throughput * 0.95
-        orderings_ok &= stats[Policy.FWB].throughput > best_sw
-        orderings_ok &= stats[Policy.HWL].throughput > min(
-            stats[Policy.REDO_CLWB].throughput, stats[Policy.UNDO_CLWB].throughput
+        orderings_ok &= stats[NON_PERS].throughput >= stats[FWB].throughput * 0.95
+        orderings_ok &= stats[FWB].throughput > best_sw
+        orderings_ok &= stats[HWL].throughput > min(
+            stats[REDO_CLWB].throughput, stats[UNDO_CLWB].throughput
         )
     report.add(
         "fig6/ordering",
@@ -110,9 +110,9 @@ def validate(
     instr_ok = True
     worst_sw = 0.0
     for benchmark in sweep.benchmarks():
-        non_pers = sweep.stats(benchmark, threads, Policy.NON_PERS).instructions
-        sw = sweep.stats(benchmark, threads, Policy.UNDO_CLWB).instructions
-        hw = sweep.stats(benchmark, threads, Policy.FWB).instructions
+        non_pers = sweep.stats(benchmark, threads, NON_PERS).instructions
+        sw = sweep.stats(benchmark, threads, UNDO_CLWB).instructions
+        hw = sweep.stats(benchmark, threads, FWB).instructions
         worst_sw = max(worst_sw, sw / non_pers)
         # Per-benchmark floors (compute-heavy ssca2 dilutes software
         # logging the most — the paper's reason it gains least); the
@@ -128,8 +128,8 @@ def validate(
     )
 
     energy_ok = all(
-        sweep.stats(b, threads, Policy.FWB).memory_dynamic_energy_pj
-        <= sweep.stats(b, threads, Policy.UNDO_CLWB).memory_dynamic_energy_pj
+        sweep.stats(b, threads, FWB).memory_dynamic_energy_pj
+        <= sweep.stats(b, threads, UNDO_CLWB).memory_dynamic_energy_pj
         for b in sweep.benchmarks()
     )
     report.add(
@@ -140,8 +140,8 @@ def validate(
     )
 
     traffic_ok = all(
-        sweep.stats(b, threads, Policy.FWB).nvram_write_bytes
-        <= sweep.stats(b, threads, Policy.UNDO_CLWB).nvram_write_bytes
+        sweep.stats(b, threads, FWB).nvram_write_bytes
+        <= sweep.stats(b, threads, UNDO_CLWB).nvram_write_bytes
         for b in sweep.benchmarks()
     )
     report.add(

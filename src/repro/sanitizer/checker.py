@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..core.policy import Policy
+from ..core.design import DesignSpec, resolve_design
 from .rules import RULES, PsanDiagnostic, PsanReport
 
 _EPS = 1e-6
@@ -98,7 +98,7 @@ class PersistOrderChecker:
     """Streaming verifier for the paper's persistency-ordering rules."""
 
     def __init__(self) -> None:
-        self.policy: Optional[Policy] = None
+        self.policy: Optional[DesignSpec] = None
         self._enabled = True
         self._heap_base = 0
         self._heap_limit = 0
@@ -175,13 +175,16 @@ class PersistOrderChecker:
 
     def _on_meta(self, event) -> None:
         d = event.detail
-        self.policy = Policy.from_name(d["policy"])
+        # The meta event carries the design's name (canonical or a
+        # mechanism string); both resolve through the registry, so rule
+        # gating works for custom ablation specs too.
+        self.policy = resolve_design(d["policy"])
         self._heap_base = d["heap_base"]
         self._heap_limit = d["heap_limit"]
         self._entry_size = d.get("log_entry_size", 64)
         self._log_regions = [tuple(region) for region in d.get("log_regions", ())]
-        if self.policy is Policy.NON_PERS:
-            # No persistence claim: nothing to check.
+        if not (self.policy.uses_hw_logging or self.policy.uses_sw_logging):
+            # No log backend, no persistence claim: nothing to check.
             self._enabled = False
 
     def _on_tx_begin(self, event) -> None:
@@ -637,7 +640,7 @@ class PersistOrderChecker:
 # ----------------------------------------------------------------------
 def run_psan(
     benchmark: str,
-    policy: Policy,
+    policy,
     threads: int = 1,
     txns_per_thread: int = 40,
     system=None,
@@ -689,9 +692,9 @@ def run_psan(
 
 def _claims_guarantee(policy_name: str) -> bool:
     try:
-        return Policy.from_name(policy_name).persistence_guaranteed
+        return resolve_design(policy_name).persistence_guaranteed
     except ValueError:
-        return True  # unknown policy: treat violations as real
+        return True  # unknown design: treat violations as real
 
 
 @dataclass

@@ -8,9 +8,10 @@ holds non-persistent data and is not evaluated):
   ``log_base = nvram_size - log_entries * log_entry_size``.
 
 The machine wires the persistence machinery selected by the
-:class:`~repro.core.policy.Policy`: the HWL engine and log buffer for
-hardware-logging designs, a :class:`~repro.core.softlog.SoftwareLog` for
-software designs, and the FWB scanner for the full design.
+:class:`~repro.core.design.DesignSpec` mechanisms: the HWL engine and
+log buffer for hardware-logging designs, a
+:class:`~repro.core.softlog.SoftwareLog` for software designs, and the
+FWB scanner when the spec's write-back discipline is ``fwb``.
 """
 
 from __future__ import annotations
@@ -22,8 +23,8 @@ from ..core.growlog import DIRECTORY_BYTES, GrowableCircularLog, RegionDirectory
 from ..core.hwl import HardwareLogging
 from ..core.logbuffer import LogBuffer
 from ..core.multilog import LogRouter, split_log_region
+from ..core.design import NON_PERS, DesignSpec, resolve_design
 from ..core.nvlog import CircularLog
-from ..core.policy import Policy
 from ..core.registers import SpecialRegisters
 from ..core.softlog import SoftwareLog
 from ..errors import SimulationError
@@ -44,10 +45,11 @@ _RETIRE_PERIOD = 4096  # ops between housekeeping passes
 class Machine:
     """A complete simulated system under one persistence policy."""
 
-    def __init__(self, config: SystemConfig, policy: Policy = Policy.NON_PERS) -> None:
+    def __init__(self, config: SystemConfig, policy=NON_PERS) -> None:
         config.validate()
         self.config = config
-        self.policy = policy
+        self.policy: DesignSpec = resolve_design(policy)
+        policy = self.policy
         self.stats = MachineStats()
         self.energy = EnergyModel(config.energy, self.stats)
         self.nvram = NVRAM(config.nvram, config.track_crash_state)

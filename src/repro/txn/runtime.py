@@ -1,4 +1,4 @@
-"""Transaction runtime: the paper's software abstraction, lowered per policy.
+"""Transaction runtime: the paper's software abstraction, lowered per design.
 
 :class:`PersistentMemory` is the user-facing facade over one
 :class:`~repro.sim.machine.Machine`.  Each software thread obtains a
@@ -12,31 +12,35 @@
     api.write(addr, new_value)
     api.tx_commit()
 
-``write`` is lowered according to the machine's policy:
+``write`` is lowered according to the machine's
+:class:`~repro.core.design.DesignSpec` mechanisms:
 
-* ``non-pers`` — a plain store;
-* hardware logging (``hw-rlog``/``hw-ulog``/``hwl``/``fwb``) — a
-  persistent store; the HWL engine reacts inside the cache hierarchy with
-  **zero extra instructions** (the paper's central efficiency claim);
-* software undo (``unsafe-base``/``undo-clwb``) — an explicit old-value
-  load, bookkeeping instructions, an uncacheable log store, then the data
-  store (Figure 2(a));
-* software redo (``redo-clwb``) — an uncacheable redo log store; the
-  in-place store is *deferred* until the redo log is durable (the
-  Figure 1(b) memory barrier), with reads served from a write-set overlay.
+* no log backend (``non-pers``) — a plain store;
+* hardware logging (``hw-rlog``/``hw-ulog``/``hwl``/``fwb`` and any
+  custom ``hw+…`` spec) — a persistent store; the HWL engine reacts
+  inside the cache hierarchy with **zero extra instructions** (the
+  paper's central efficiency claim);
+* software logging with undo content (``unsafe-base``/``undo-clwb``) —
+  an explicit old-value load, bookkeeping instructions, an uncacheable
+  log store, then the data store (Figure 2(a));
+* software redo-only logging (``redo-clwb``) — an uncacheable redo log
+  store; the in-place store is *deferred* until the redo log is durable
+  (the Figure 1(b) memory barrier), with reads served from a write-set
+  overlay.
 
-``tx_commit`` likewise lowers to the per-policy commit protocol and
-returns the transaction's durability time, which the
-:class:`GoldenModel` records for crash-consistency verification.
+``tx_commit`` likewise lowers to a commit protocol chosen by the spec's
+commit/content/write-back mechanisms and returns the transaction's
+durability time, which the :class:`GoldenModel` records for
+crash-consistency verification.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..core.design import CommitProtocol, DesignSpec
 from ..core.logrecord import LogRecord, RecordKind
 from ..core.nvlog import PlacedRecord
-from ..core.policy import Policy
 from ..errors import TransactionError
 from ..sim.machine import Machine
 from ..sim.microops import CLWB, Compute, Fence, Load, LogStore, Store, TxBegin, TxCommit
@@ -251,7 +255,7 @@ class ThreadAPI:
             self._write_lines.add(
                 line_address(piece_addr, self._machine.config.line_size)
             )
-            if policy is Policy.NON_PERS:
+            if not (policy.uses_hw_logging or policy.uses_sw_logging):
                 self._machine.execute(self.core_id, Store(piece_addr, piece))
             elif policy.uses_hw_logging:
                 self._machine.execute(
@@ -275,7 +279,7 @@ class ThreadAPI:
             self._machine.execute(self.core_id, Compute(count))
 
     # ------------------------------------------------------------------
-    # Per-policy lowering
+    # Per-design lowering
     # ------------------------------------------------------------------
     def _sw_undo_write(self, addr: int, piece: bytes) -> None:
         """Software undo logging: load old value, log it, then store."""
@@ -294,7 +298,7 @@ class ThreadAPI:
         self._emit_log(placed, "data")
         self._overlay[addr] = piece
 
-    def _commit_for_policy(self, policy: Policy, txid: int) -> float:
+    def _commit_for_policy(self, policy: DesignSpec, txid: int) -> float:
         logging = self._machine.config.logging
         core = self.core_id
         if policy.uses_hw_logging:
@@ -314,21 +318,25 @@ class ThreadAPI:
                     overhead_instrs=logging.hw_instrs_tx_commit,
                 ),
             )
-            if policy is Policy.HWL:
+            if policy.uses_clwb_at_commit:
                 # hwl still forces write-backs with clwb, but delayed past
                 # the commit point and unfenced (Figure 1(c): "clwb can be
                 # delayed") — the write-backs are posted, not waited on.
                 for line in sorted(self._write_lines):
                     self._machine.execute(core, CLWB(line))
+            if policy.commit is CommitProtocol.INSTANT:
+                return self.now  # optimistic; durability not awaited
             return float(durable) if durable is not None else self.now
 
-        if policy is Policy.NON_PERS:
+        if not policy.uses_sw_logging:
             self._machine.execute(core, TxCommit(txid=txid, tid=self.tid))
             return self.now
 
         # Software logging designs.
         overhead = logging.softlog_instrs_tx_commit
-        if policy is Policy.UNSAFE_BASE:
+        if policy.commit is CommitProtocol.INSTANT:
+            # unsafe-base: append the commit record and report commit at
+            # the core clock without ever fencing — no guarantee.
             physical = self._machine.registers.physical_txid(txid)
             placed = self._machine.swlog.commit(txid, self.tid)
             self._pm.golden.stage(self.tid, physical, self._writes)
@@ -338,12 +346,13 @@ class ThreadAPI:
             )
             return self.now  # optimistic; no durability guarantee
 
-        if policy is Policy.UNDO_CLWB:
-            # Undo protocol: force the data (the write-back hook already
-            # guarantees the undo records reach NVRAM first), fence, then
-            # write the commit record.
-            for line in sorted(self._write_lines):
-                self._machine.execute(core, CLWB(line))
+        if not policy.logs_redo:
+            # Undo protocol (undo-clwb): force the data (the write-back
+            # hook already guarantees the undo records reach NVRAM
+            # first), fence, then write the commit record.
+            if policy.uses_clwb_at_commit:
+                for line in sorted(self._write_lines):
+                    self._machine.execute(core, CLWB(line))
             self._machine.execute(core, Fence())
             physical = self._machine.registers.physical_txid(txid)
             placed = self._machine.swlog.commit(txid, self.tid)
@@ -359,30 +368,28 @@ class ThreadAPI:
             # core observing it still recovers the transaction.
             return self._machine.cores[core].wcb.flush(self.now)
 
-        if policy is Policy.REDO_CLWB:
-            # Redo protocol: full redo log (incl. commit record) durable is
-            # the commit point; only then do the in-place stores start.
-            # The post-transaction clwbs are posted, not fenced — the redo
-            # log already guarantees recoverability of the in-place data.
-            physical = self._machine.registers.physical_txid(txid)
-            placed = self._machine.swlog.commit(txid, self.tid)
-            self._pm.golden.stage(self.tid, physical, self._writes)
-            self._emit_log(placed, "commit")
-            self._machine.execute(core, Fence())
-            # The commit point is the instant the commit record became
-            # durable (recovery redoes any fully-logged transaction whose
-            # commit record survived), not the later fence retirement.
-            durable = self._machine.cores[core].wcb.last_completion
-            self._machine.execute(
-                core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
-            )
-            for addr, piece in self._overlay.items():
-                self._machine.execute(core, Store(addr, piece))
+        # Redo protocol (redo-clwb): full redo log (incl. commit record)
+        # durable is the commit point; only then do the in-place stores
+        # start.  The post-transaction clwbs are posted, not fenced — the
+        # redo log already guarantees recoverability of the in-place data.
+        physical = self._machine.registers.physical_txid(txid)
+        placed = self._machine.swlog.commit(txid, self.tid)
+        self._pm.golden.stage(self.tid, physical, self._writes)
+        self._emit_log(placed, "commit")
+        self._machine.execute(core, Fence())
+        # The commit point is the instant the commit record became
+        # durable (recovery redoes any fully-logged transaction whose
+        # commit record survived), not the later fence retirement.
+        durable = self._machine.cores[core].wcb.last_completion
+        self._machine.execute(
+            core, TxCommit(txid=txid, tid=self.tid, overhead_instrs=overhead)
+        )
+        for addr, piece in self._overlay.items():
+            self._machine.execute(core, Store(addr, piece))
+        if policy.uses_clwb_at_commit:
             for line in sorted(self._write_lines):
                 self._machine.execute(core, CLWB(line))
-            return durable
-
-        raise TransactionError(f"unhandled policy {policy}")  # pragma: no cover
+        return durable
 
     # ------------------------------------------------------------------
     def _emit_log(self, placed: PlacedRecord, kind: str) -> None:

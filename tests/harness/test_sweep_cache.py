@@ -111,6 +111,24 @@ class TestSweepCacheKeys:
             self.base_key(system=self.system.scaled(num_cores=4)) != base
         )
 
+    def test_key_uses_design_mechanisms_not_name(self):
+        # A canonical design and an anonymous spec with identical
+        # mechanisms must share entries: same simulation, same stats.
+        from repro.core.design import parse_design
+
+        assert self.base_key(policy=parse_design("hw+undo+redo+fwb")) == self.base_key()
+
+    def test_specs_differing_only_in_writeback_never_collide(self):
+        from repro.core.design import parse_design
+
+        clwb = self.base_key(policy=parse_design("hw+undo+redo+clwb"))
+        fwb = self.base_key(policy=parse_design("hw+undo+redo+fwb"))
+        nowb = self.base_key(policy=parse_design("hw+undo+redo+nowb"))
+        assert len({clwb, fwb, nowb}) == 3
+
+    def test_custom_spec_string_key_matches_spec_key(self):
+        assert self.base_key(policy="hw+undo+redo+fwb") == self.base_key()
+
     def test_salt_bump_invalidates(self):
         other = SweepCache("unused", salt="sweep-v2-different")
         assert other.key(
@@ -221,6 +239,23 @@ class TestSweepWithCache:
         run_micro_sweep(**sweep_kwargs(txns_per_thread=21), cache=cache)
         assert cache.hits == 0
         assert cache.misses == len(POLICIES)
+
+    def test_writeback_variants_miss_each_others_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_micro_sweep(**sweep_kwargs(policies=("hw+undo+redo+clwb",)), cache=cache)
+        assert cache.stores == 1
+        cache.hits = cache.misses = 0
+        run_micro_sweep(**sweep_kwargs(policies=("hw+undo+redo+fwb",)), cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_canonical_name_hits_anonymous_entry(self, tmp_path):
+        # "fwb" and "hw+undo+redo+fwb" are the same mechanisms; warming
+        # the cache under either spelling serves the other.
+        cache = SweepCache(tmp_path)
+        run_micro_sweep(**sweep_kwargs(policies=("hw+undo+redo+fwb",)), cache=cache)
+        cache.hits = cache.misses = 0
+        run_micro_sweep(**sweep_kwargs(policies=(Policy.FWB,)), cache=cache)
+        assert (cache.hits, cache.misses) == (1, 0)
 
 
 class TestSweepResultMerge:

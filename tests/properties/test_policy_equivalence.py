@@ -53,6 +53,30 @@ def test_all_policies_functionally_equivalent(txns):
 
 @settings(max_examples=10, deadline=None)
 @given(txns=txn_lists)
+def test_canonical_specs_reproduce_legacy_policies(txns):
+    """Every canonical DesignSpec drives the machine exactly like the
+    legacy Policy member it replaced — same observations, same image."""
+    from repro.core.design import DESIGNS
+
+    for policy in Policy:
+        spec = DESIGNS.get(policy.value)
+        assert run_policy(spec, txns) == run_policy(policy, txns), policy.value
+
+
+@settings(max_examples=10, deadline=None)
+@given(txns=txn_lists)
+def test_custom_specs_functionally_equivalent(txns):
+    """Off-grid mechanism compositions still compute the same values —
+    mechanisms change timing and durability, never program semantics."""
+    from repro.core.design import parse_design
+
+    reference = run_policy(Policy.NON_PERS, txns)
+    for text in ("hw+undo+clwb", "sw+redo+fwb", "sw+undo+redo+clwb", "hw+redo+fwb"):
+        assert run_policy(parse_design(text), txns) == reference, text
+
+
+@settings(max_examples=10, deadline=None)
+@given(txns=txn_lists)
 def test_grow_and_distributed_match_centralized(txns):
     from repro.sim.config import LoggingConfig
 

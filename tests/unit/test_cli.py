@@ -30,6 +30,16 @@ class TestParser:
         args = build_parser().parse_args(["figure", "6", "--cell-timeout", "2.5"])
         assert args.cell_timeout == 2.5
 
+    def test_ablate_defaults(self):
+        args = build_parser().parse_args(["ablate"])
+        assert args.specs is None
+        assert args.backends == "hw,sw"
+        assert args.contents == "undo,redo,undo+redo"
+        assert args.writebacks == "none,clwb,fwb"
+        assert args.commits == "fenced"
+        assert args.benchmarks == "hash"
+        assert not args.no_psan
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -52,6 +62,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "unsafe-base" in out
         assert "fwb gain" in out
+
+    def test_ablate_specs_smoke(self, capsys):
+        code = main(
+            [
+                "ablate",
+                "--specs",
+                "hwl,fwb,hw+undo+clwb,sw+redo+fwb",
+                "--txns",
+                "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "design-space ablation: 4 design(s)" in out
+        assert "hw+undo+clwb" in out
+        # Guarantee column derives from the mechanisms.
+        assert " yes " in out and " no " in out
+
+    def test_ablate_grid_smoke(self, capsys):
+        code = main(
+            [
+                "ablate",
+                "--backends",
+                "hw",
+                "--contents",
+                "undo+redo",
+                "--writebacks",
+                "clwb,fwb",
+                "--txns",
+                "20",
+                "--no-psan",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 design(s)" in out
+        assert "hw+undo+redo+clwb" in out and "hw+undo+redo+fwb" in out
+
+    def test_ablate_empty_grid_errors(self, capsys):
+        code = main(["ablate", "--backends", "none", "--contents", "undo"])
+        assert code == 2
+        assert "no valid design" in capsys.readouterr().err
+
+    def test_ablate_bad_spec_errors(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            main(["ablate", "--specs", "hlw"])
 
     def test_faults_smoke(self, capsys):
         assert (

@@ -21,9 +21,17 @@ class TestNames:
     def test_from_name(self):
         assert Policy.from_name("fwb") is Policy.FWB
 
+    def test_from_name_covers_every_member(self):
+        for policy in Policy:
+            assert Policy.from_name(policy.value) is policy
+
     def test_from_name_unknown(self):
         with pytest.raises(ValueError):
             Policy.from_name("nope")
+
+    def test_from_name_unknown_suggests(self):
+        with pytest.raises(ValueError, match="did you mean.*undo-clwb"):
+            Policy.from_name("undo-clbw")
 
     def test_paper_order(self):
         assert MICROBENCH_POLICIES[0] is Policy.NON_PERS
@@ -76,3 +84,33 @@ class TestStructure:
     def test_wrap_protection_matches_guarantee(self):
         for policy in Policy:
             assert policy.protects_log_wrap == policy.persistence_guaranteed
+
+
+class TestDesignAlias:
+    """Policy is a thin alias over the design registry."""
+
+    def test_design_attribute_is_registered_spec(self):
+        from repro.core.design import DESIGNS
+
+        for policy in Policy:
+            assert policy.design is DESIGNS.get(policy.value)
+
+    def test_predicates_delegate_to_design(self):
+        for policy in Policy:
+            spec = policy.design
+            assert policy.uses_hw_logging == spec.uses_hw_logging
+            assert policy.uses_sw_logging == spec.uses_sw_logging
+            assert policy.logs_undo == spec.logs_undo
+            assert policy.logs_redo == spec.logs_redo
+            assert policy.uses_clwb_at_commit == spec.uses_clwb_at_commit
+            assert policy.uses_fwb == spec.uses_fwb
+            assert policy.defers_in_place_stores == spec.defers_in_place_stores
+            assert policy.persistence_guaranteed == spec.persistence_guaranteed
+            assert policy.protects_log_wrap == spec.protects_log_wrap
+
+    def test_policy_identity_still_works(self):
+        # Enum identity semantics survive the custom __eq__/__hash__.
+        assert Policy.FWB is Policy("fwb")
+        assert Policy.FWB == Policy.FWB
+        assert Policy.FWB != Policy.HWL
+        assert len({Policy.FWB, Policy.FWB.design}) == 1
