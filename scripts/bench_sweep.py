@@ -1,99 +1,68 @@
 #!/usr/bin/env python
-"""Micro-harness timing the sweep engine; writes ``BENCH_sweep.json``.
+"""DEPRECATED shim — the benchmarks moved into the package.
 
-Runs a fixed small sweep three ways and reports wall-clock and
-throughput (cells/second):
+This script used to time the sweep engine ad hoc and write
+``BENCH_sweep.json``.  That role is now served by the ``repro.bench``
+subsystem, which covers the sweep engine *and* the other hot paths
+(cache probes, log-buffer drain, recovery replay, sweep-cache hits,
+ablation fan-out), reports deterministic cost counters alongside
+wall-clock, and gates CI against committed ``BENCH_*.json`` baselines::
 
-1. ``uncached`` — cache disabled, ``--jobs`` workers (the raw engine);
-2. ``cold_cache`` — empty cache in a temp directory (misses + stores);
-3. ``warm_cache`` — same cache again (every cell must hit).
+    PYTHONPATH=src python -m repro bench run --quick
+    PYTHONPATH=src python -m repro bench compare --quick
+    PYTHONPATH=src python -m repro bench update --quick
 
-Usage::
-
-    PYTHONPATH=src python scripts/bench_sweep.py [--jobs N] [--medium]
+This shim forwards to ``repro bench run`` so old invocations keep
+producing numbers.  The legacy flags map loosely: ``--medium`` selects
+the full matrices (drops ``--quick``), ``--out`` is passed through, and
+``--jobs`` is ignored (the parallel path has its own suite,
+``sweep-parallel``).  It will be removed in a future cleanup.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import tempfile
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.harness.cache import SweepCache  # noqa: E402
-from repro.harness.sweep import run_micro_sweep  # noqa: E402
+from repro.__main__ import main as repro_main  # noqa: E402
 
 
-def bench(label: str, out: dict, **kwargs) -> object:
-    start = time.perf_counter()
-    result = run_micro_sweep(**kwargs)
-    elapsed = time.perf_counter() - start
-    cells = len(result.cells)
-    entry = {
-        "seconds": round(elapsed, 3),
-        "cells": cells,
-        "cells_per_sec": round(cells / elapsed, 3),
-    }
-    cache = kwargs.get("cache")
-    if cache is not None:
-        entry["cache"] = {
-            "hits": cache.hits,
-            "misses": cache.misses,
-            "hit_rate": round(cache.hit_rate, 3),
-        }
-        cache.hits = cache.misses = cache.stores = 0
-    out[label] = entry
-    print(f"{label:12s} {elapsed:7.2f}s  {entry['cells_per_sec']:7.2f} cells/s"
-          + (f"  hit_rate={entry['cache']['hit_rate']:.0%}" if "cache" in entry else ""))
-    return result
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--jobs", type=int, default=1)
-    parser.add_argument(
-        "--medium", action="store_true",
-        help="larger matrix (3 benchmarks x 2 thread counts, 150 txns)",
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    print(
+        "scripts/bench_sweep.py is deprecated; use "
+        "'python -m repro bench run' (forwarding now)",
+        file=sys.stderr,
     )
-    parser.add_argument("--out", default="BENCH_sweep.json")
-    args = parser.parse_args()
-
-    if args.medium:
-        sweep_kwargs = dict(
-            benchmarks=("hash", "rbtree", "sps"), threads=(1, 2), txns_per_thread=150
-        )
-    else:
-        sweep_kwargs = dict(
-            benchmarks=("hash", "sps"), threads=(1,), txns_per_thread=100
-        )
-
-    results: dict = {}
-    bench("uncached", results, **sweep_kwargs, jobs=args.jobs)
-    with tempfile.TemporaryDirectory() as tmp:
-        cache = SweepCache(tmp)
-        bench("cold_cache", results, **sweep_kwargs, jobs=args.jobs, cache=cache)
-        warm = bench("warm_cache", results, **sweep_kwargs, jobs=args.jobs, cache=cache)
-        if results["warm_cache"]["cache"]["hit_rate"] != 1.0:
-            print("ERROR: warm pass did not hit on every cell", file=sys.stderr)
-            return 1
-        assert len(warm.cells) == results["uncached"]["cells"]
-
-    payload = {
-        "config": {
-            **sweep_kwargs,
-            "jobs": args.jobs,
-            "python": platform.python_version(),
-        },
-        "results": results,
-    }
-    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.out}")
-    return 0
+    forwarded = ["bench", "run"]
+    quick = True
+    out = None
+    skip = False
+    for i, arg in enumerate(argv):
+        if skip:
+            skip = False
+            continue
+        if arg == "--medium":
+            quick = False
+        elif arg == "--jobs":
+            skip = True  # value consumed; parallelism has its own suite
+        elif arg.startswith("--jobs="):
+            pass
+        elif arg == "--out":
+            if i + 1 < len(argv):
+                out = argv[i + 1]
+                skip = True
+        elif arg.startswith("--out="):
+            out = arg.split("=", 1)[1]
+        else:
+            print(f"bench_sweep shim: ignoring unknown flag {arg!r}", file=sys.stderr)
+    if quick:
+        forwarded.append("--quick")
+    if out is not None:
+        forwarded += ["--out", out]
+    return repro_main(forwarded)
 
 
 if __name__ == "__main__":

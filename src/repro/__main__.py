@@ -33,6 +33,17 @@ Commands
     trip.
 ``lint``
     Run the determinism/accounting AST lint over the source tree.
+``bench``
+    Performance-regression benchmark suites: ``bench run`` measures the
+    registered suites (deterministic cost counters + min-of-N
+    wall-clock), ``bench compare`` diffs a fresh run against a committed
+    ``BENCH_*.json`` baseline (0% tolerance on counters, configurable %
+    on wall-clock) and exits non-zero on regression, ``bench update``
+    rewrites the baseline intentionally.
+``cache``
+    Sweep result-cache maintenance: ``cache prune`` deletes
+    ``.repro_cache`` entries whose ``CODE_SALT`` predates the current
+    one (``--dry-run`` counts without deleting).
 """
 
 from __future__ import annotations
@@ -416,6 +427,26 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_cache(args) -> int:
+    from pathlib import Path
+
+    from .harness.cache import default_cache_dir
+
+    directory = Path(args.dir) if args.dir else default_cache_dir()
+    cache = SweepCache(directory)
+    if args.cache_command == "prune":
+        counts = cache.prune(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"cache prune: {counts['scanned']} entr(ies) scanned, "
+            f"{counts['stale']} stale (salt != {cache.salt!r}), "
+            f"{verb} {counts['stale'] if args.dry_run else counts['removed']}, "
+            f"{counts['kept']} kept ({directory})"
+        )
+        return 0
+    return 2  # pragma: no cover - argparse restricts choices
+
+
 def _cmd_lifetime(_args) -> int:
     config = SystemConfig()
     period = log_pass_period_seconds(config)
@@ -533,7 +564,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--policy",
         default="guaranteed",
-        help="'guaranteed' (default), 'all', or one design name (e.g. fwb)",
+        help="'guaranteed' (default), 'all', 'instant' (instant-commit "
+        "variants of the guaranteed grid), or a comma-separated list of "
+        "design names / mechanism strings (e.g. "
+        "'fwb,hw+undo+redo+clwb+instant')",
     )
     faults.add_argument(
         "--workload", default="hash", choices=sorted(MICROBENCHMARKS)
@@ -608,6 +642,27 @@ def build_parser() -> argparse.ArgumentParser:
     validate_cmd.add_argument("--quick", action="store_true")
     _sweep_flags(validate_cmd)
     validate_cmd.set_defaults(fn=_cmd_validate)
+
+    from .bench.cli import add_bench_parser
+
+    add_bench_parser(sub)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="sweep result-cache maintenance (.repro_cache)"
+    )
+    cache_action = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    prune = cache_action.add_parser(
+        "prune", help="delete entries whose CODE_SALT predates the current one"
+    )
+    prune.add_argument(
+        "--dry-run", action="store_true", help="count stale entries, delete nothing"
+    )
+    prune.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    prune.set_defaults(fn=_cmd_cache)
     return parser
 
 

@@ -1,0 +1,49 @@
+"""Performance-regression benchmark subsystem (``repro bench``).
+
+Named suites measure the system's hot paths and report **deterministic
+cost counters** (simulated cycles, events, cache/NVRAM accesses) next to
+min-of-N wall-clock; schema-versioned ``BENCH_*.json`` baselines plus
+``repro bench run/compare/update`` let CI gate every PR on the noise-free
+counters while humans read seconds.  See :mod:`repro.bench.registry` for
+the metric model and :mod:`repro.bench.compare` for the tolerance rules.
+"""
+
+from .baseline import (
+    SCHEMA,
+    BenchSchemaError,
+    default_baseline_path,
+    load_baseline,
+    result_to_doc,
+    write_baseline,
+)
+from .compare import (
+    DEFAULT_WALL_TOLERANCE,
+    CompareReport,
+    MetricDiff,
+    compare_results,
+)
+from .registry import SUITES, BenchError, BenchTimer, Suite, get_suites, register
+from .runner import BenchRunResult, SuiteResult, host_fingerprint, run_bench
+
+__all__ = [
+    "SCHEMA",
+    "SUITES",
+    "DEFAULT_WALL_TOLERANCE",
+    "BenchError",
+    "BenchRunResult",
+    "BenchSchemaError",
+    "BenchTimer",
+    "CompareReport",
+    "MetricDiff",
+    "Suite",
+    "SuiteResult",
+    "compare_results",
+    "default_baseline_path",
+    "get_suites",
+    "host_fingerprint",
+    "load_baseline",
+    "register",
+    "result_to_doc",
+    "run_bench",
+    "write_baseline",
+]

@@ -1,0 +1,93 @@
+"""Schema-versioned on-disk bench baselines (``BENCH_*.json``).
+
+A baseline captures one :func:`~repro.bench.runner.run_bench` outcome:
+the schema version, run configuration (mode, repeats), the recording
+host's fingerprint, and per-suite metrics.  ``repro bench compare``
+diffs a fresh run against a committed baseline; ``repro bench update``
+rewrites it intentionally.
+
+The schema version is bumped whenever the document shape changes
+incompatibly; comparisons across versions refuse to guess and fail with
+a :class:`BenchSchemaError` (CLI exit code 2) instead of reporting
+nonsense drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .registry import BenchError
+from .runner import BenchRunResult, SuiteResult
+
+#: Current baseline document schema.
+SCHEMA = "repro-bench/v1"
+
+
+class BenchSchemaError(BenchError):
+    """A baseline file has a different (or missing) schema version."""
+
+
+def default_baseline_path(quick: bool) -> Path:
+    """The conventional committed baseline for the given mode."""
+    return Path("BENCH_quick.json" if quick else "BENCH_full.json")
+
+
+def result_to_doc(result: BenchRunResult) -> dict:
+    """Encode a run result as a JSON-ready baseline document."""
+    return {
+        "schema": SCHEMA,
+        "mode": result.mode,
+        "repeats": result.repeats,
+        "host": dict(result.host),
+        "suites": {suite.name: suite.to_dict() for suite in result.suites},
+    }
+
+
+def doc_to_result(doc: dict) -> BenchRunResult:
+    """Rebuild a :class:`BenchRunResult` from a baseline document."""
+    result = BenchRunResult(
+        mode=doc.get("mode", "quick"),
+        repeats=int(doc.get("repeats", 1)),
+        host=dict(doc.get("host", {})),
+    )
+    for name, entry in doc.get("suites", {}).items():
+        result.suites.append(
+            SuiteResult(
+                name=name,
+                description=entry.get("description", ""),
+                counters=dict(entry.get("counters", {})),
+                wall_seconds=float(entry.get("wall_seconds", 0.0)),
+                wall_all=[float(w) for w in entry.get("wall_all", [])],
+                counter_drift=bool(entry.get("counter_drift", False)),
+            )
+        )
+    return result
+
+
+def write_baseline(path: Union[str, Path], result: BenchRunResult) -> Path:
+    """Write ``result`` as a baseline file (pretty JSON, trailing \\n)."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_doc(result), indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> BenchRunResult:
+    """Load and schema-check a baseline file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchError(
+            f"no baseline at {path} (create one with 'repro bench update')"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise BenchError(f"unreadable baseline {path}: {exc}") from exc
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise BenchSchemaError(
+            f"baseline {path} has schema {schema!r}, this tool speaks "
+            f"{SCHEMA!r}; refresh it with 'repro bench update'"
+        )
+    return doc_to_result(doc)

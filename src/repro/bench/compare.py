@@ -1,0 +1,354 @@
+"""Baseline comparison: per-metric tolerances and the regression verdict.
+
+Tolerance model:
+
+* **deterministic counters** — zero tolerance.  Any difference between
+  baseline and current is a regression (the simulator's behaviour
+  changed; if the change is intentional, ``repro bench update`` records
+  the new truth).  A counter that disappears is likewise a regression;
+  a brand-new counter is informational.
+* **wall-clock** — current may exceed baseline by up to
+  ``wall_tolerance`` (a fraction; 0.25 = +25%).  Wall metrics are only
+  *gated* when the baseline was recorded on a matching host fingerprint
+  (and gating was not switched off); on a foreign host they are reported
+  as informational, because seconds measured elsewhere prove nothing.
+* **suite sets** — a suite present in the baseline but missing from the
+  current run is a regression (coverage was lost); a new suite is
+  informational until ``update`` adopts it.
+* a suite whose counters drifted *within* the current run (between
+  repeats) fails regardless of the baseline — determinism is the
+  property the whole gate rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .runner import BenchRunResult
+
+#: Default wall-clock tolerance: +25 % over baseline.
+DEFAULT_WALL_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric compared between baseline and current run."""
+
+    suite: str
+    metric: str
+    kind: str  # "counter" | "wall" | "suite" | "determinism"
+    baseline: float
+    current: float
+    regressed: bool
+    gated: bool
+    note: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def pct(self) -> float:
+        """Relative change (0 when the baseline is zero and unchanged)."""
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / self.baseline
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one baseline comparison."""
+
+    baseline_host: dict
+    current_host: dict
+    mode: str
+    wall_tolerance: float
+    wall_gated: bool
+    diffs: List[MetricDiff] = field(default_factory=list)
+
+    @property
+    def host_match(self) -> bool:
+        return self.baseline_host == self.current_host
+
+    @property
+    def regressions(self) -> List[MetricDiff]:
+        """Diffs that fail the gate (regressed on a gated metric)."""
+        return [d for d in self.diffs if d.regressed and d.gated]
+
+    @property
+    def counter_drift(self) -> List[MetricDiff]:
+        """Gated counter diffs only (the zero-tolerance set)."""
+        return [
+            d
+            for d in self.regressions
+            if d.kind in ("counter", "determinism", "suite")
+        ]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    @property
+    def regressing_suites(self) -> List[str]:
+        seen: List[str] = []
+        for diff in self.regressions:
+            if diff.suite not in seen:
+                seen.append(diff.suite)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Terminal summary: regressions first, then wall overview."""
+        lines = [
+            f"bench compare: mode={self.mode} "
+            f"wall tolerance +{self.wall_tolerance:.0%} "
+            f"(wall {'gated' if self.wall_gated else 'informational'}"
+            f"{'' if self.host_match else ', host differs'})"
+        ]
+        if self.regressions:
+            lines.append(f"{len(self.regressions)} regression(s):")
+            for diff in self.regressions:
+                lines.append(f"  {_describe(diff)}")
+        else:
+            lines.append("no regressions")
+        for diff in self.diffs:
+            if diff.kind == "wall":
+                marker = "REGRESSED" if diff.regressed else "ok"
+                lines.append(
+                    f"  wall {diff.suite}: {diff.baseline:.3f}s -> "
+                    f"{diff.current:.3f}s ({diff.pct:+.1%}) "
+                    f"[{marker if diff.gated else 'informational'}]"
+                )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """The markdown regression report (CI artifact)."""
+        status = "✅ PASS" if self.passed else "❌ REGRESSION"
+        lines = [
+            "# repro bench comparison",
+            "",
+            f"**Status: {status}**",
+            "",
+            f"- mode: `{self.mode}`",
+            f"- wall-clock tolerance: +{self.wall_tolerance:.0%} "
+            f"({'gated' if self.wall_gated else 'informational'})",
+            f"- host match: {'yes' if self.host_match else 'no'} "
+            f"(baseline: `{_host_line(self.baseline_host)}`, "
+            f"current: `{_host_line(self.current_host)}`)",
+            "",
+        ]
+        if self.regressions:
+            lines += [
+                "## Regressions",
+                "",
+                "| suite | metric | kind | baseline | current | change |",
+                "|---|---|---|---:|---:|---:|",
+            ]
+            for diff in self.regressions:
+                lines.append(
+                    f"| {diff.suite} | {diff.metric} | {diff.kind} "
+                    f"| {_num(diff.baseline)} | {_num(diff.current)} "
+                    f"| {_change(diff)} |"
+                )
+            lines.append("")
+        informational = [
+            d for d in self.diffs if (d.regressed and not d.gated) or d.note
+        ]
+        if informational:
+            lines += ["## Notes", ""]
+            for diff in informational:
+                lines.append(f"- {_describe(diff)}")
+            lines.append("")
+        lines += [
+            "## Wall-clock",
+            "",
+            "| suite | baseline (s) | current (s) | change |",
+            "|---|---:|---:|---:|",
+        ]
+        for diff in self.diffs:
+            if diff.kind == "wall":
+                lines.append(
+                    f"| {diff.suite} | {diff.baseline:.3f} "
+                    f"| {diff.current:.3f} | {diff.pct:+.1%} |"
+                )
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _host_line(host: dict) -> str:
+    return (
+        f"{host.get('implementation', '?')} {host.get('python', '?')} "
+        f"{host.get('system', '?')}/{host.get('machine', '?')} "
+        f"{host.get('cpus', '?')}cpu"
+    )
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def _change(diff: MetricDiff) -> str:
+    if diff.pct == float("inf"):
+        return "new"
+    return f"{diff.pct:+.2%}"
+
+
+def _describe(diff: MetricDiff) -> str:
+    scope = "informational: " if (diff.regressed and not diff.gated) else ""
+    body = (
+        f"{diff.suite}/{diff.metric} [{diff.kind}]: "
+        f"{_num(diff.baseline)} -> {_num(diff.current)}"
+    )
+    if diff.note:
+        body += f" ({diff.note})"
+    return scope + body
+
+
+def compare_results(
+    baseline: BenchRunResult,
+    current: BenchRunResult,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    gate_wall: bool = True,
+) -> CompareReport:
+    """Diff ``current`` against ``baseline``; returns the full report.
+
+    ``gate_wall=False`` demotes every wall-clock comparison to
+    informational; it is also demoted automatically when the two host
+    fingerprints differ.
+    """
+    wall_gated = gate_wall and baseline.host == current.host
+    report = CompareReport(
+        baseline_host=dict(baseline.host),
+        current_host=dict(current.host),
+        mode=current.mode,
+        wall_tolerance=wall_tolerance,
+        wall_gated=wall_gated,
+    )
+    if baseline.mode != current.mode:
+        report.diffs.append(
+            MetricDiff(
+                suite="*",
+                metric="mode",
+                kind="suite",
+                baseline=0,
+                current=0,
+                regressed=True,
+                gated=True,
+                note=(
+                    f"baseline recorded in {baseline.mode!r} mode, current "
+                    f"run is {current.mode!r} — compare like with like"
+                ),
+            )
+        )
+        return report
+
+    base_suites = {suite.name: suite for suite in baseline.suites}
+    cur_suites = {suite.name: suite for suite in current.suites}
+
+    for name, base in base_suites.items():
+        cur = cur_suites.get(name)
+        if cur is None:
+            report.diffs.append(
+                MetricDiff(
+                    suite=name,
+                    metric="(suite)",
+                    kind="suite",
+                    baseline=1,
+                    current=0,
+                    regressed=True,
+                    gated=True,
+                    note="suite present in baseline but missing from this run",
+                )
+            )
+            continue
+        if cur.counter_drift:
+            report.diffs.append(
+                MetricDiff(
+                    suite=name,
+                    metric="(repeats)",
+                    kind="determinism",
+                    baseline=0,
+                    current=1,
+                    regressed=True,
+                    gated=True,
+                    note="counters drifted between repeats of this very run",
+                )
+            )
+        # Counters: zero tolerance, both directions, disappearance fails.
+        for metric, base_value in base.counters.items():
+            if metric not in cur.counters:
+                report.diffs.append(
+                    MetricDiff(
+                        suite=name,
+                        metric=metric,
+                        kind="counter",
+                        baseline=base_value,
+                        current=0,
+                        regressed=True,
+                        gated=True,
+                        note="counter disappeared",
+                    )
+                )
+                continue
+            cur_value = cur.counters[metric]
+            if cur_value != base_value:
+                report.diffs.append(
+                    MetricDiff(
+                        suite=name,
+                        metric=metric,
+                        kind="counter",
+                        baseline=base_value,
+                        current=cur_value,
+                        regressed=True,
+                        gated=True,
+                    )
+                )
+        for metric, cur_value in cur.counters.items():
+            if metric not in base.counters:
+                report.diffs.append(
+                    MetricDiff(
+                        suite=name,
+                        metric=metric,
+                        kind="counter",
+                        baseline=0,
+                        current=cur_value,
+                        regressed=False,
+                        gated=False,
+                        note="new counter (baseline predates it)",
+                    )
+                )
+        # Wall-clock: one-sided percentage tolerance.
+        limit = base.wall_seconds * (1.0 + wall_tolerance)
+        report.diffs.append(
+            MetricDiff(
+                suite=name,
+                metric="wall_seconds",
+                kind="wall",
+                baseline=base.wall_seconds,
+                current=cur.wall_seconds,
+                regressed=cur.wall_seconds > limit,
+                gated=wall_gated,
+            )
+        )
+
+    for name in cur_suites:
+        if name not in base_suites:
+            report.diffs.append(
+                MetricDiff(
+                    suite=name,
+                    metric="(suite)",
+                    kind="suite",
+                    baseline=0,
+                    current=1,
+                    regressed=False,
+                    gated=False,
+                    note="new suite not in baseline (adopt with "
+                    "'repro bench update')",
+                )
+            )
+    return report

@@ -1,0 +1,267 @@
+"""The registered benchmark suites.
+
+Each suite exercises one performance-critical path of the system:
+
+``sweep-serial`` / ``sweep-parallel``
+    End-to-end sweep-engine throughput (the figure pipeline's engine),
+    serially and over a two-worker process pool.
+``cache-probe``
+    The simulator's single hottest operation: set-associative tag
+    probes, fills and LRU evictions, isolated from the rest of the
+    machine.
+``logbuffer-drain``
+    The HWL log-buffer FIFO draining records onto the NVRAM bus through
+    the memory controller's bank/bus scheduler.
+``recovery-replay``
+    Post-crash log-window scan and undo/redo replay (only the recovery
+    pass itself is timed; the crashed run is setup).
+``sweep-cache-hit``
+    The content-addressed result cache's warm-hit path (key hashing +
+    JSON decode; the cold populating sweep is setup).
+``ablate-grid``
+    Mechanism-grid fan-out through the sweep engine, including
+    ``instant``-commit specs off the paper's canonical axis.
+
+Every suite returns counters that are pure functions of configuration —
+simulated cycles, instructions, cache/NVRAM accesses — never wall time,
+process ids, or host properties.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from ..core.design import FWB, HWL, REDO_CLWB, UNSAFE_BASE, expand_grid
+from ..core.logbuffer import LogBuffer
+from ..core.recovery import RecoveryManager
+from ..harness.cache import SweepCache
+from ..harness.sweep import run_micro_sweep
+from ..sim.cache import SetAssociativeCache
+from ..sim.config import (
+    CacheConfig,
+    CoreConfig,
+    LoggingConfig,
+    MemCtrlConfig,
+    NVDimmConfig,
+    SystemConfig,
+)
+from ..sim.machine import Machine
+from ..txn.runtime import PersistentMemory
+from ..workloads.hashtable import HashTableWorkload
+from .registry import BenchTimer, register
+
+
+def _tiny_system(**overrides) -> SystemConfig:
+    """A miniature machine (2 cores, 4 KB L1, 4 MB NVRAM) for the
+    component-level suites; mirrors the test fixtures' configuration."""
+    config = SystemConfig(
+        num_cores=2,
+        core=CoreConfig(),
+        l1=CacheConfig(size_bytes=4 * 1024, ways=4, line_size=64, latency_ns=1.6),
+        llc=CacheConfig(size_bytes=32 * 1024, ways=8, line_size=64, latency_ns=4.4),
+        memctrl=MemCtrlConfig(),
+        nvram=NVDimmConfig(size_bytes=4 * 1024 * 1024),
+        logging=LoggingConfig(log_entries=256),
+    )
+    return config.scaled(**overrides) if overrides else config
+
+
+def _sweep_counters(result) -> dict:
+    """Aggregate a sweep's per-cell stats into deterministic counters.
+
+    Cells are summed in canonical matrix order, so even the float sums
+    are bit-stable run to run.
+    """
+    counters = {
+        "cells": len(result.cells),
+        "cycles": 0.0,
+        "instructions": 0,
+        "transactions_committed": 0,
+        "l1_accesses": 0,
+        "llc_misses": 0,
+        "nvram_reads": 0,
+        "nvram_writes": 0,
+        "nvram_write_bytes": 0,
+        "log_records": 0,
+        "clwb_count": 0,
+        "fwb_writebacks": 0,
+    }
+    for stats in result.cells.values():
+        counters["cycles"] += stats.cycles
+        counters["instructions"] += stats.instructions
+        counters["transactions_committed"] += stats.transactions_committed
+        counters["l1_accesses"] += stats.l1_hits + stats.l1_misses
+        counters["llc_misses"] += stats.llc_misses
+        counters["nvram_reads"] += stats.nvram_reads
+        counters["nvram_writes"] += stats.nvram_writes
+        counters["nvram_write_bytes"] += stats.nvram_write_bytes
+        counters["log_records"] += stats.log_records
+        counters["clwb_count"] += stats.clwb_count
+        counters["fwb_writebacks"] += stats.fwb_writebacks
+    return counters
+
+
+def _sweep_matrix(quick: bool) -> dict:
+    if quick:
+        return dict(
+            benchmarks=("hash",),
+            threads=(1,),
+            policies=(UNSAFE_BASE, REDO_CLWB, HWL, FWB),
+            txns_per_thread=50,
+        )
+    return dict(
+        benchmarks=("hash", "sps"),
+        threads=(1, 2),
+        policies=(UNSAFE_BASE, REDO_CLWB, HWL, FWB),
+        txns_per_thread=150,
+    )
+
+
+@register("sweep-serial", "serial sweep-engine throughput over a fixed matrix")
+def sweep_serial(quick: bool, timer: BenchTimer) -> dict:
+    with timer.timed():
+        result = run_micro_sweep(**_sweep_matrix(quick))
+    return _sweep_counters(result)
+
+
+@register("sweep-parallel", "two-worker parallel sweep of the same matrix")
+def sweep_parallel(quick: bool, timer: BenchTimer) -> dict:
+    with timer.timed():
+        result = run_micro_sweep(**_sweep_matrix(quick), jobs=2)
+    return _sweep_counters(result)
+
+
+@register("cache-probe", "set-associative tag probe / fill / LRU eviction loop")
+def cache_probe(quick: bool, timer: BenchTimer) -> dict:
+    config = CacheConfig(size_bytes=32 * 1024, ways=8, line_size=64, latency_ns=4.4)
+    cache = SetAssociativeCache(config, "bench")
+    line = bytes(64)
+    iterations = 60_000 if quick else 400_000
+    # Footprint 4x the cache capacity, addressed by a fixed-seed LCG:
+    # roughly 1-in-4 probes hit, every fill past warm-up evicts.
+    span = 4 * config.size_bytes
+    state = 0x9E3779B97F4A7C15
+    hits = misses = evictions = 0
+    with timer.timed():
+        now = 0.0
+        for _ in range(iterations):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            addr = (state >> 16) % span
+            found = cache.lookup(addr)
+            if found is not None:
+                hits += 1
+                cache.touch(found, now)
+            else:
+                misses += 1
+                line_addr = addr & ~63
+                _, victim = cache.fill(line_addr, line, now, dirty=bool(state & 1))
+                if victim is not None:
+                    evictions += 1
+            now += 1.0
+    return {
+        "probes": iterations,
+        "hits": hits,
+        "misses": misses,
+        "evictions": evictions,
+        "occupancy": cache.occupancy,
+        "dirty_lines": cache.dirty_count(),
+    }
+
+
+@register("logbuffer-drain", "HWL log-buffer FIFO drain through the memory controller")
+def logbuffer_drain(quick: bool, timer: BenchTimer) -> dict:
+    machine = Machine(_tiny_system(), FWB)
+    buffer = LogBuffer(depth=15, memctrl=machine.memctrl, stats=machine.stats)
+    records = 6_000 if quick else 40_000
+    entry = machine.config.logging.log_entry_size
+    payload = bytes(entry)
+    base = machine.log_base
+    ring = machine.config.logging.log_entries
+    with timer.timed():
+        now = 0.0
+        total_stall = 0.0
+        for index in range(records):
+            addr = base + (index % ring) * entry
+            stall, _durable = buffer.push(addr, payload, now)
+            total_stall += stall
+            # Producers arrive faster than the bus drains, so the FIFO
+            # stays near-full and the back-pressure path is exercised.
+            now += 2.0
+    return {
+        "records": records,
+        "log_bytes": machine.stats.log_bytes,
+        "stall_cycles": total_stall,
+        "final_occupancy": buffer.occupancy,
+        "nvram_writes": machine.stats.nvram_writes,
+        "last_completion": buffer.last_completion,
+    }
+
+
+@register("recovery-replay", "post-crash log window scan and undo/redo replay")
+def recovery_replay(quick: bool, timer: BenchTimer) -> dict:
+    machine = Machine(_tiny_system(), HWL)
+    pm = PersistentMemory(machine)
+    workload = HashTableWorkload(
+        seed=11, buckets_per_partition=16, keys_per_partition=64
+    )
+    workload.setup(pm)
+    txns = 60 if quick else 200
+    generator = workload.thread_body(pm.api(0, 0), 0, txns)
+    for _ in generator:
+        pass
+    machine.crash(at_time=machine.core_time(0) * 0.6)
+    with timer.timed():
+        report = RecoveryManager(machine.nvram, machine.log).recover()
+    return {
+        "records_scanned": report.records_scanned,
+        "window_entries": report.window_entries,
+        "committed_instances": report.committed_instances,
+        "uncommitted_instances": report.uncommitted_instances,
+        "redo_writes": report.redo_writes,
+        "undo_writes": report.undo_writes,
+        "torn_records_skipped": report.torn_records_skipped,
+    }
+
+
+@register("sweep-cache-hit", "content-addressed result-cache warm-hit path")
+def sweep_cache_hit(quick: bool, timer: BenchTimer) -> dict:
+    matrix = dict(
+        benchmarks=("hash",),
+        threads=(1,),
+        policies=(HWL, FWB),
+        txns_per_thread=30 if quick else 100,
+    )
+    warm_passes = 5 if quick else 20
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SweepCache(tmp)
+        run_micro_sweep(**matrix, cache=cache)  # cold populate (untimed)
+        with timer.timed():
+            for _ in range(warm_passes):
+                run_micro_sweep(**matrix, cache=cache)
+        return {
+            "warm_passes": warm_passes,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "stores": cache.stores,
+            "corrupt": cache.corrupt,
+        }
+
+
+@register("ablate-grid", "mechanism-grid fan-out incl. instant-commit specs")
+def ablate_grid(quick: bool, timer: BenchTimer) -> dict:
+    designs = expand_grid(
+        ("hw",), ("undo+redo",), ("clwb", "fwb", "none"), ("fenced", "instant")
+    )
+    with timer.timed():
+        result = run_micro_sweep(
+            benchmarks=("hash",),
+            threads=(1,),
+            policies=designs,
+            txns_per_thread=30 if quick else 100,
+        )
+    counters = _sweep_counters(result)
+    counters["designs"] = len(designs)
+    counters["guaranteed_designs"] = sum(
+        1 for spec in designs if spec.persistence_guaranteed
+    )
+    return counters

@@ -27,6 +27,7 @@ from .campaign import (
     campaign_workload,
     default_campaign_system,
     enumerate_points,
+    instant_variants,
     resolve_policies,
     run_fault_campaign,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "campaign_workload",
     "default_campaign_system",
     "enumerate_points",
+    "instant_variants",
     "resolve_policies",
     "run_fault_campaign",
     "sample_indices",

@@ -29,6 +29,7 @@ to the image after a single uninterrupted recovery.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -41,6 +42,7 @@ from ..core.design import (
     REDO_CLWB,
     UNDO_CLWB,
     UNSAFE_BASE,
+    CommitProtocol,
     DesignSpec,
     resolve_design,
 )
@@ -209,16 +211,19 @@ class CampaignResult:
     @property
     def rendered(self) -> str:
         """Terminal verdict table plus a per-kind breakdown."""
+        width = max(
+            [len("policy")] + [len(r.policy.value) for r in self.reports]
+        )
         lines = [
             f"fault campaign: workload={self.workload} "
             f"txns={self.txns_per_thread} threads={self.threads} "
             f"seed={self.seed}",
-            f"{'policy':12s} {'points':>6s} {'violations':>10s} "
+            f"{'policy':{width}s} {'points':>6s} {'violations':>10s} "
             f"{'torn-skip':>9s} {'cksum-fail':>10s}  verdict",
         ]
         for report in self.reports:
             lines.append(
-                f"{report.policy.value:12s} {len(report.points):6d} "
+                f"{report.policy.value:{width}s} {len(report.points):6d} "
                 f"{len(report.violations):10d} "
                 f"{report.torn_records_skipped:9d} "
                 f"{report.checksum_failures:10d}  {report.verdict}"
@@ -567,18 +572,51 @@ def _run_recovery_point(
 # ----------------------------------------------------------------------
 # Campaign driver
 # ----------------------------------------------------------------------
+def instant_variants(policies: Iterable = GUARANTEED_POLICIES) -> Tuple[DesignSpec, ...]:
+    """The ``instant``-commit twin of each given design.
+
+    Same mechanisms, commit protocol flipped to ``instant`` — the specs
+    whose derived ``persistence_guaranteed`` goes false because the
+    reported commit point is no longer tied to durability.  The campaign
+    runs them end-to-end to demonstrate (not merely assert) the gap.
+    """
+    variants = []
+    for policy in policies:
+        spec = dataclasses.replace(
+            resolve_design(policy), commit=CommitProtocol.INSTANT, name=""
+        )
+        if spec not in variants:
+            variants.append(spec)
+    return tuple(variants)
+
+
 def resolve_policies(spec: str) -> Tuple[DesignSpec, ...]:
     """Turn a CLI design spec into a design tuple.
 
     ``"guaranteed"`` → the four guaranteed designs; ``"all"`` → those
-    plus every unguaranteed logging design; otherwise a single design
-    name (e.g. ``"fwb"``) or custom mechanism string (``"hw+undo+clwb"``).
+    plus every unguaranteed logging design; ``"instant"`` → the
+    instant-commit variants of the guaranteed grid (see
+    :func:`instant_variants`); otherwise a comma-separated list of
+    design names (e.g. ``"fwb"``) and/or custom mechanism strings
+    (``"hw+undo+clwb"``, ``"hw+undo+redo+fwb+instant"``).
     """
     if spec == "guaranteed":
         return GUARANTEED_POLICIES
     if spec == "all":
         return GUARANTEED_POLICIES + UNGUARANTEED_POLICIES
-    return (resolve_design(spec),)
+    if spec == "instant":
+        return instant_variants()
+    policies = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        design = resolve_design(token)
+        if design not in policies:
+            policies.append(design)
+    if not policies:
+        raise WorkloadError(f"design spec {spec!r} names no designs")
+    return tuple(policies)
 
 
 def run_fault_campaign(

@@ -180,6 +180,42 @@ class SweepCache:
     # ------------------------------------------------------------------
     # Maintenance / reporting
     # ------------------------------------------------------------------
+    def prune(self, dry_run: bool = False) -> dict:
+        """Delete entries written under a different ``CODE_SALT``.
+
+        Keys fold the salt in, so entries from an older salt (e.g.
+        pre-``sweep-v2`` files keyed by policy *names*) can never hit
+        again — they are pure dead weight.  Every stored payload also
+        records its salt, which is what this scan inspects; entries that
+        fail to parse at all are treated as stale too.  ``dry_run``
+        counts without deleting.  Returns
+        ``{"scanned", "stale", "removed", "kept"}``.
+        """
+        scanned = stale = removed = 0
+        if self.directory.is_dir():
+            for path in sorted(self.directory.glob("*.json")):
+                scanned += 1
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        entry_salt = json.load(fh).get("salt")
+                except (OSError, ValueError):
+                    entry_salt = None
+                if entry_salt == self.salt:
+                    continue
+                stale += 1
+                if not dry_run:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return {
+            "scanned": scanned,
+            "stale": stale,
+            "removed": removed,
+            "kept": scanned - stale,
+        }
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0

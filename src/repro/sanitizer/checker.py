@@ -724,10 +724,16 @@ class PsanSweepReport:
         }
 
     def render(self) -> str:
+        # Composed design names (e.g. "hw+undo+redo+clwb+instant") can be
+        # far wider than the canonical ones; size the policy column to
+        # the longest rendered name so columns never shear.
+        width = max(
+            [len("policy")] + [len(report.policy) for report in self.reports]
+        )
         lines = [
-            f"{'benchmark':10s} {'threads':>7s} {'policy':12s} "
+            f"{'benchmark':10s} {'threads':>7s} {'policy':{width}s} "
             f"{'events':>9s} {'txns':>6s} verdict",
-            "-" * 62,
+            "-" * (width + 50),
         ]
         for report in self.reports:
             verdict = "clean"
@@ -738,7 +744,7 @@ class PsanSweepReport:
             lines.append(
                 f"{report.benchmark:10s} "
                 f"{report.threads:7d} "
-                f"{report.policy:12s} "
+                f"{report.policy:{width}s} "
                 f"{report.events_processed:9d} {report.txns_checked:6d} "
                 f"{verdict}"
             )

@@ -272,3 +272,40 @@ class TestSweepResultMerge:
         assert merged.merge(override).cells[cell].instructions == 1
         # Inputs are not mutated.
         assert len(first.cells) == 1 and len(second.cells) == 1
+
+
+class TestCachePrune:
+    def fill(self, tmp_path):
+        cache = SweepCache(directory=tmp_path)
+        cache.put("k-current", MachineStats())
+        stale = SweepCache(directory=tmp_path, salt="sweep-v1")
+        stale.put("k-old", MachineStats())
+        (tmp_path / "garbage.json").write_text("{not json")
+        (tmp_path / "unrelated.txt").write_text("ignore me")
+        return cache
+
+    def test_prune_removes_only_foreign_salt_entries(self, tmp_path):
+        cache = self.fill(tmp_path)
+        summary = cache.prune()
+        assert summary == {"scanned": 3, "stale": 2, "removed": 2, "kept": 1}
+        remaining = sorted(p.name for p in tmp_path.iterdir())
+        assert len([n for n in remaining if n.endswith(".json")]) == 1
+        assert "unrelated.txt" in remaining
+
+    def test_dry_run_counts_without_deleting(self, tmp_path):
+        cache = self.fill(tmp_path)
+        summary = cache.prune(dry_run=True)
+        assert summary["stale"] == 2
+        assert summary["removed"] == 0
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_prune_on_missing_directory_is_a_noop(self, tmp_path):
+        cache = SweepCache(directory=tmp_path / "never-created")
+        assert cache.prune() == {
+            "scanned": 0, "stale": 0, "removed": 0, "kept": 0,
+        }
+
+    def test_pruned_current_entry_still_hits(self, tmp_path):
+        cache = self.fill(tmp_path)
+        cache.prune()
+        assert cache.get("k-current") is not None

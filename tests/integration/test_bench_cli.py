@@ -1,0 +1,128 @@
+"""End-to-end ``repro bench`` CLI: run, update, compare, exit codes.
+
+Uses the cheap suites only (logbuffer-drain, cache-probe) so the whole
+file stays in the sub-second range; full-matrix runs are CI's job.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import SCHEMA
+from repro.bench.runner import ENV_PERTURB
+
+SUITES = "logbuffer-drain,cache-probe"
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    """Run CLI invocations from an empty cwd (default baseline paths)."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def bench(*argv):
+    return main(["bench", *argv])
+
+
+class TestRun:
+    def test_run_writes_schema_versioned_file(self, in_tmp):
+        rc = bench(
+            "run", "--quick", "--suites", SUITES, "--repeats", "1",
+            "--out", "fresh.json",
+        )
+        assert rc == 0
+        doc = json.loads((in_tmp / "fresh.json").read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["mode"] == "quick"
+        assert set(doc["suites"]) == {"logbuffer-drain", "cache-probe"}
+        for entry in doc["suites"].values():
+            assert entry["counters"]
+            assert entry["counter_drift"] is False
+
+    def test_run_json_output_parses(self, in_tmp, capsys):
+        rc = bench("run", "--quick", "--suites", SUITES, "--repeats", "1", "--json")
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == SCHEMA
+
+    def test_unknown_suite_is_usage_error(self, in_tmp):
+        assert bench("run", "--quick", "--suites", "nonesuch") == 2
+
+
+class TestCompare:
+    def test_back_to_back_runs_have_zero_counter_drift(self, in_tmp, capsys):
+        assert bench("update", "--quick", "--suites", SUITES, "--repeats", "1") == 0
+        rc = bench(
+            "compare", "--quick", "--suites", SUITES, "--repeats", "1",
+            "--no-wall-gate",
+        )
+        assert rc == 0
+        assert "bench compare: PASS" in capsys.readouterr().out
+
+    def test_compare_from_saved_run_file(self, in_tmp):
+        assert bench("update", "--quick", "--suites", SUITES, "--repeats", "1") == 0
+        assert bench(
+            "run", "--quick", "--suites", SUITES, "--repeats", "1",
+            "--out", "fresh.json",
+        ) == 0
+        rc = bench(
+            "compare", "--quick", "--from", "fresh.json", "--no-wall-gate"
+        )
+        assert rc == 0
+
+    def test_perturbed_suite_fails_and_is_named_in_report(
+        self, in_tmp, monkeypatch, capsys
+    ):
+        assert bench("update", "--quick", "--suites", SUITES, "--repeats", "1") == 0
+        monkeypatch.setenv(ENV_PERTURB, "cache-probe=1.5")
+        rc = bench(
+            "compare", "--quick", "--suites", SUITES, "--repeats", "1",
+            "--no-wall-gate", "--report", "report.md",
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "bench compare: FAIL" in out
+        report = (in_tmp / "report.md").read_text()
+        assert "REGRESSION" in report
+        assert "cache-probe" in report
+        # The untouched suite must not be blamed.
+        assert "| logbuffer-drain |" not in report.split("## Wall-clock")[0]
+
+    def test_missing_baseline_is_exit_2(self, in_tmp, capsys):
+        rc = bench("compare", "--quick", "--suites", SUITES, "--repeats", "1")
+        assert rc == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_schema_mismatch_is_exit_2(self, in_tmp, capsys):
+        assert bench("update", "--quick", "--suites", SUITES, "--repeats", "1") == 0
+        path = in_tmp / "BENCH_quick.json"
+        doc = json.loads(path.read_text())
+        doc["schema"] = "repro-bench/v0"
+        path.write_text(json.dumps(doc))
+        rc = bench(
+            "compare", "--quick", "--suites", SUITES, "--repeats", "1"
+        )
+        assert rc == 2
+        assert "schema" in capsys.readouterr().err
+
+
+class TestUpdateAndList:
+    def test_update_writes_default_path_by_mode(self, in_tmp):
+        assert bench("update", "--quick", "--suites", SUITES, "--repeats", "1") == 0
+        assert (in_tmp / "BENCH_quick.json").exists()
+
+    def test_update_custom_baseline_path(self, in_tmp):
+        rc = bench(
+            "update", "--quick", "--suites", SUITES, "--repeats", "1",
+            "--baseline", "custom.json",
+        )
+        assert rc == 0
+        assert (in_tmp / "custom.json").exists()
+
+    def test_list_names_all_suites(self, in_tmp, capsys):
+        assert bench("list") == 0
+        out = capsys.readouterr().out
+        for name in ("sweep-serial", "recovery-replay", "ablate-grid"):
+            assert name in out

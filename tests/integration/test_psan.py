@@ -19,6 +19,7 @@ from repro.sanitizer.checker import (
     PsanSweepReport,
     run_psan,
 )
+from repro.sanitizer.rules import PsanReport
 from repro.sim.trace import Tracer
 
 TXNS = 15  # enough to wrap nothing but exercise every rule's machinery
@@ -210,3 +211,32 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "hwl" in out and "clean" in out
+
+
+class TestSweepReportRendering:
+    def make_sweep(self, *policies):
+        sweep = PsanSweepReport()
+        for policy in policies:
+            sweep.reports.append(PsanReport(
+                policy=policy, benchmark="hash", threads=1,
+                events_processed=1234, txns_checked=20,
+            ))
+        return sweep
+
+    def test_policy_column_fits_longest_composed_name(self):
+        long_name = "hw+undo+redo+clwb+instant"
+        sweep = self.make_sweep("hwl", long_name)
+        lines = sweep.render().splitlines()
+        header, short_row, long_row = lines[0], lines[2], lines[3]
+        # The verdict column starts at the same offset in every row:
+        # no shearing even when one policy name dwarfs the others.
+        assert header.index("verdict") == short_row.index("clean")
+        assert short_row.index("clean") == long_row.index("clean")
+        assert long_name in long_row
+
+    def test_short_names_keep_compact_layout(self):
+        sweep = self.make_sweep("hwl", "fwb")
+        separator = sweep.render().splitlines()[1]
+        # Column width collapses back to the header word when every
+        # policy name is short.
+        assert len(separator) == len("policy") + 50

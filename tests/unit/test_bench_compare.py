@@ -1,0 +1,198 @@
+"""Bench compare semantics: tolerances, suite sets, schema, exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchRunResult,
+    BenchSchemaError,
+    SuiteResult,
+    compare_results,
+    load_baseline,
+    result_to_doc,
+    write_baseline,
+)
+from repro.bench.baseline import doc_to_result
+
+HOST = {
+    "python": "3.12.0",
+    "implementation": "CPython",
+    "system": "Linux",
+    "machine": "x86_64",
+    "cpus": 4,
+}
+OTHER_HOST = dict(HOST, python="3.9.1")
+
+
+def make_result(
+    counters=None,
+    wall=1.0,
+    name="probe",
+    host=HOST,
+    mode="quick",
+    drift=False,
+    extra_suites=(),
+):
+    result = BenchRunResult(mode=mode, repeats=3, host=dict(host))
+    result.suites.append(
+        SuiteResult(
+            name=name,
+            description="d",
+            counters=dict(counters if counters is not None else {"cycles": 100.0, "events": 7}),
+            wall_seconds=wall,
+            wall_all=[wall, wall + 0.01],
+            counter_drift=drift,
+        )
+    )
+    result.suites.extend(extra_suites)
+    return result
+
+
+class TestCounterTolerance:
+    def test_identical_passes(self):
+        report = compare_results(make_result(), make_result())
+        assert report.passed
+        assert report.regressions == []
+
+    @pytest.mark.parametrize("delta", [1, -1])
+    def test_any_counter_change_fails_both_directions(self, delta):
+        current = make_result(counters={"cycles": 100.0, "events": 7 + delta})
+        report = compare_results(make_result(), current)
+        assert not report.passed
+        [diff] = report.regressions
+        assert (diff.suite, diff.metric, diff.kind) == ("probe", "events", "counter")
+        assert report.regressing_suites == ["probe"]
+
+    def test_float_counter_exactness(self):
+        current = make_result(counters={"cycles": 100.0 + 1e-9, "events": 7})
+        assert not compare_results(make_result(), current).passed
+
+    def test_disappeared_counter_fails(self):
+        current = make_result(counters={"cycles": 100.0})
+        report = compare_results(make_result(), current)
+        assert not report.passed
+        assert report.regressions[0].note == "counter disappeared"
+
+    def test_new_counter_is_informational(self):
+        current = make_result(counters={"cycles": 100.0, "events": 7, "extra": 1})
+        report = compare_results(make_result(), current)
+        assert report.passed
+        assert any("new counter" in d.note for d in report.diffs)
+
+
+class TestWallTolerance:
+    def test_at_exact_tolerance_boundary_passes(self):
+        current = make_result(wall=1.25)
+        report = compare_results(make_result(), current, wall_tolerance=0.25)
+        assert report.passed
+
+    def test_just_over_tolerance_fails_on_matching_host(self):
+        current = make_result(wall=1.26)
+        report = compare_results(make_result(), current, wall_tolerance=0.25)
+        assert not report.passed
+        [diff] = report.regressions
+        assert diff.kind == "wall"
+
+    def test_speedup_never_fails(self):
+        report = compare_results(make_result(), make_result(wall=0.1))
+        assert report.passed
+
+    def test_host_mismatch_demotes_wall_to_informational(self):
+        current = make_result(wall=9.0, host=OTHER_HOST)
+        report = compare_results(make_result(), current)
+        assert report.passed
+        assert not report.wall_gated
+        assert any(d.kind == "wall" and d.regressed for d in report.diffs)
+
+    def test_gate_wall_false_demotes_wall(self):
+        current = make_result(wall=9.0)
+        report = compare_results(make_result(), current, gate_wall=False)
+        assert report.passed
+
+    def test_counter_drift_still_gates_on_foreign_host(self):
+        current = make_result(
+            counters={"cycles": 101.0, "events": 7}, host=OTHER_HOST
+        )
+        assert not compare_results(make_result(), current).passed
+
+
+class TestSuiteSets:
+    def test_missing_suite_fails(self):
+        baseline = make_result(
+            extra_suites=[SuiteResult("gone", "d", {"n": 1}, 0.5, [0.5])]
+        )
+        report = compare_results(baseline, make_result())
+        assert not report.passed
+        [diff] = report.regressions
+        assert (diff.suite, diff.kind) == ("gone", "suite")
+        assert "missing" in diff.note
+
+    def test_added_suite_is_informational(self):
+        current = make_result(
+            extra_suites=[SuiteResult("fresh", "d", {"n": 1}, 0.5, [0.5])]
+        )
+        report = compare_results(make_result(), current)
+        assert report.passed
+        assert any(d.suite == "fresh" and "new suite" in d.note for d in report.diffs)
+
+    def test_mode_mismatch_fails_without_counter_noise(self):
+        current = make_result(mode="full")
+        report = compare_results(make_result(), current)
+        assert not report.passed
+        [diff] = report.regressions
+        assert diff.metric == "mode"
+        assert "like with like" in diff.note
+
+    def test_intra_run_counter_drift_fails(self):
+        report = compare_results(make_result(), make_result(drift=True))
+        assert not report.passed
+        assert report.regressions[0].kind == "determinism"
+
+
+class TestSchemaAndRoundTrip:
+    def test_round_trip_preserves_counters_exactly(self, tmp_path):
+        result = make_result(counters={"cycles": 12345.6789012345, "n": 3})
+        path = write_baseline(tmp_path / "b.json", result)
+        loaded = load_baseline(path)
+        assert loaded.suites[0].counters == result.suites[0].counters
+        assert compare_results(result, loaded).counter_drift == []
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        doc = result_to_doc(make_result())
+        doc["schema"] = "repro-bench/v0"
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(BenchSchemaError):
+            load_baseline(path)
+
+    def test_missing_schema_raises(self, tmp_path):
+        path = tmp_path / "none.json"
+        path.write_text("{}")
+        with pytest.raises(BenchSchemaError):
+            load_baseline(path)
+
+    def test_doc_schema_constant(self):
+        assert result_to_doc(make_result())["schema"] == SCHEMA == "repro-bench/v1"
+
+    def test_doc_to_result_tolerates_sparse_entries(self):
+        result = doc_to_result({"suites": {"x": {}}})
+        assert result.suites[0].name == "x"
+        assert result.suites[0].counters == {}
+
+
+class TestRendering:
+    def test_markdown_names_regressing_suite_and_status(self):
+        current = make_result(counters={"cycles": 100.0, "events": 8})
+        report = compare_results(make_result(), current)
+        md = report.render_markdown()
+        assert "REGRESSION" in md and "probe" in md and "events" in md
+
+    def test_markdown_pass_status(self):
+        md = compare_results(make_result(), make_result()).render_markdown()
+        assert "PASS" in md
+
+    def test_terminal_render_lists_wall_rows(self):
+        text = compare_results(make_result(), make_result()).render()
+        assert "no regressions" in text and "wall probe" in text

@@ -183,3 +183,56 @@ class TestEnumeratePoints:
             for point in points
         )
         assert len(points) >= 30
+
+
+class TestResolvePolicies:
+    def test_guaranteed_keyword(self):
+        from repro.faults import GUARANTEED_POLICIES, resolve_policies
+
+        assert resolve_policies("guaranteed") == GUARANTEED_POLICIES
+
+    def test_comma_list_of_names(self):
+        from repro.faults import resolve_policies
+
+        designs = resolve_policies("fwb,hwl")
+        assert [d.name for d in designs] == ["fwb", "hwl"]
+
+    def test_comma_list_deduplicates(self):
+        from repro.faults import resolve_policies
+
+        assert len(resolve_policies("fwb,fwb, fwb")) == 1
+
+    def test_mechanism_string_mixes_with_names(self):
+        from repro.faults import resolve_policies
+
+        designs = resolve_policies("fwb,hw+undo+redo+clwb+instant")
+        assert len(designs) == 2
+        assert not designs[1].persistence_guaranteed
+
+    def test_empty_spec_is_an_error(self):
+        from repro.errors import WorkloadError
+        from repro.faults import resolve_policies
+
+        with pytest.raises(WorkloadError, match="names no designs"):
+            resolve_policies(" , ,")
+
+
+class TestInstantVariants:
+    def test_instant_grid_loses_every_guarantee(self):
+        from repro.core.design import CommitProtocol
+        from repro.faults import GUARANTEED_POLICIES, instant_variants, resolve_policies
+
+        variants = resolve_policies("instant")
+        assert variants == instant_variants()
+        assert len(variants) == len(GUARANTEED_POLICIES)
+        for spec in variants:
+            assert spec.commit is CommitProtocol.INSTANT
+            assert not spec.persistence_guaranteed
+
+    def test_variants_keep_logging_mechanisms(self):
+        from repro.faults import GUARANTEED_POLICIES, instant_variants
+
+        for base, variant in zip(GUARANTEED_POLICIES, instant_variants()):
+            assert variant.log_backend is base.log_backend
+            assert variant.log_content is base.log_content
+            assert variant.writeback is base.writeback
