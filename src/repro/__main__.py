@@ -56,7 +56,7 @@ from .core.design import CANONICAL_DESIGNS, DESIGNS, HW_RLOG, UNSAFE_BASE, expan
 from .core.lifetime import log_pass_period_seconds, log_region_lifetime_days
 from .harness import experiments
 from .harness.cache import SweepCache, cache_enabled
-from .harness.parallel import SweepHealth
+from .harness.parallel import SweepHealth, default_jobs
 from .harness.runner import RunConfig, prepare_workload, run_workload
 from .harness.sweep import run_micro_sweep
 from .workloads import MICROBENCHMARKS, make_microbenchmark
@@ -225,6 +225,11 @@ def _cmd_ablate(args) -> int:
 
     benchmarks = args.benchmarks.split(",")
     threads_list = tuple(int(t) for t in args.threads.split(","))
+    jobs = args.jobs
+    if jobs is None:
+        # Unlike the fixed-size figure sweeps, an ablation grid is
+        # user-shaped — size the pool to the grid and the machine.
+        jobs = default_jobs(len(designs) * len(benchmarks) * len(threads_list))
     cache = _sweep_cache(args)
     health = SweepHealth()
     psan_report = None
@@ -238,7 +243,7 @@ def _cmd_ablate(args) -> int:
         policies=designs,
         txns_per_thread=args.txns,
         seed=args.seed,
-        jobs=args.jobs,
+        jobs=jobs,
         cache=cache,
         cell_timeout=args.cell_timeout,
         health=health,
@@ -264,6 +269,25 @@ def _cmd_ablate(args) -> int:
                     f"{stats.throughput:11.1f} {stats.ipc:7.3f} "
                     f"{stats.nvram_write_bytes / 1024:11.1f}"
                 )
+    if args.chart:
+        from .harness.plots import grouped_bars
+
+        groups = {
+            f"{benchmark} @ {threads} thread(s)": {
+                spec.value: sweep.stats(benchmark, threads, spec).throughput
+                for spec in sweep.policies()
+            }
+            for benchmark in sweep.benchmarks()
+            for threads in sweep.thread_counts()
+        }
+        print()
+        print(
+            grouped_bars(
+                "ablation throughput (txns / M cycles)",
+                groups,
+                value_format="{:.1f}",
+            )
+        )
     _report_cache(cache)
     _report_health(health)
     return 0 if _report_psan(psan_report) else 1
@@ -469,12 +493,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("tables").set_defaults(fn=_cmd_tables)
 
-    def _sweep_flags(cmd, psan: bool = True) -> None:
+    def _sweep_flags(cmd, psan: bool = True, jobs_default: int = 1) -> None:
+        if jobs_default is None:
+            jobs_help = (
+                "worker processes for sweep cells (default: auto — one "
+                "per cell, capped at cpu_count-1)"
+            )
+        else:
+            jobs_help = "worker processes for sweep cells (default: 1, in-process)"
         cmd.add_argument(
             "--jobs",
             type=int,
-            default=1,
-            help="worker processes for sweep cells (default: 1, in-process)",
+            default=jobs_default,
+            help=jobs_help,
         )
         cmd.add_argument(
             "--no-cache",
@@ -555,7 +586,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the sanitizer gate applied to guarantee-claiming specs",
     )
-    _sweep_flags(ablate, psan=False)
+    ablate.add_argument(
+        "--chart",
+        action="store_true",
+        help="append a terminal bar chart of per-cell throughput",
+    )
+    _sweep_flags(ablate, psan=False, jobs_default=None)
     ablate.set_defaults(fn=_cmd_ablate)
     faults = sub.add_parser(
         "faults",

@@ -21,6 +21,12 @@ Each suite exercises one performance-critical path of the system:
 ``ablate-grid``
     Mechanism-grid fan-out through the sweep engine, including
     ``instant``-commit specs off the paper's canonical axis.
+``compile-decode`` / ``compile-replay``
+    The execution engine's two phases, timed apart so their costs are
+    directly comparable in a baseline: decoding a workload's micro-op
+    stream into a column trace (paid once per (workload, threads)), and
+    replaying that trace across all eight canonical designs (paid per
+    sweep cell — the phase the engine optimises).
 
 Every suite returns counters that are pure functions of configuration —
 simulated cycles, instructions, cache/NVRAM accesses — never wall time,
@@ -31,7 +37,7 @@ from __future__ import annotations
 
 import tempfile
 
-from ..core.design import FWB, HWL, REDO_CLWB, UNSAFE_BASE, expand_grid
+from ..core.design import CANONICAL_DESIGNS, FWB, HWL, REDO_CLWB, UNSAFE_BASE, expand_grid
 from ..core.logbuffer import LogBuffer
 from ..core.recovery import RecoveryManager
 from ..harness.cache import SweepCache
@@ -245,6 +251,79 @@ def sweep_cache_hit(quick: bool, timer: BenchTimer) -> dict:
             "stores": cache.stores,
             "corrupt": cache.corrupt,
         }
+
+
+def _trace_fixture(quick: bool):
+    """Prepared tiny-hash workload + run shape shared by the trace suites."""
+    from ..harness.runner import prepare_workload
+
+    workload = HashTableWorkload(
+        seed=11, buckets_per_partition=32, keys_per_partition=256
+    )
+    txns = 40 if quick else 150
+    return prepare_workload(workload, _tiny_system()), 2, txns
+
+
+@register("compile-decode", "execution-engine decode: micro-op stream -> column trace")
+def compile_decode(quick: bool, timer: BenchTimer) -> dict:
+    from ..sim.replay import compile_trace
+
+    prepared, threads, txns = _trace_fixture(quick)
+    with timer.timed():
+        trace = compile_trace(prepared, threads, txns)
+    return {
+        "ops": trace.op_count(),
+        "write_pieces": trace.piece_count(),
+        "column_bytes": sum(
+            len(blob) for col in trace.thread_cols for blob in col.column_blobs()
+        ),
+        "image_prefix_bytes": len(trace.image_prefix),
+        "threads": trace.threads,
+        "txns_per_thread": trace.txns_per_thread,
+    }
+
+
+@register("compile-replay", "compiled-trace replay across all eight canonical designs")
+def compile_replay(quick: bool, timer: BenchTimer) -> dict:
+    from ..harness.runner import RunConfig
+    from ..sim.replay import compile_trace, run_compiled
+
+    prepared, threads, txns = _trace_fixture(quick)
+    trace = compile_trace(prepared, threads, txns)  # decode once (setup, untimed)
+    counters = {
+        "replays": len(CANONICAL_DESIGNS),
+        "ops_replayed": trace.op_count() * len(CANONICAL_DESIGNS),
+        "cycles": 0.0,
+        "instructions": 0,
+        "transactions_committed": 0,
+        "nvram_writes": 0,
+        "nvram_write_bytes": 0,
+        "log_records": 0,
+        "clwb_count": 0,
+        "fwb_writebacks": 0,
+    }
+    with timer.timed():
+        for spec in CANONICAL_DESIGNS:
+            outcome = run_compiled(
+                trace,
+                RunConfig(
+                    policy=spec,
+                    threads=threads,
+                    txns_per_thread=txns,
+                    system=prepared.system,
+                    seed=11,
+                ),
+            )
+            stats = outcome.stats
+            counters["cycles"] += stats.cycles
+            counters["instructions"] += stats.instructions
+            counters["transactions_committed"] += stats.transactions_committed
+            counters["nvram_writes"] += stats.nvram_writes
+            counters["nvram_write_bytes"] += stats.nvram_write_bytes
+            counters["log_records"] += stats.log_records
+            counters["clwb_count"] += stats.clwb_count
+            counters["fwb_writebacks"] += stats.fwb_writebacks
+    return counters
 
 
 @register("ablate-grid", "mechanism-grid fan-out incl. instant-commit specs")

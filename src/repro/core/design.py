@@ -425,12 +425,33 @@ CANONICAL_DESIGNS: Tuple[DesignSpec, ...] = (
 _CANONICAL_ORDER = {spec: index for index, spec in enumerate(CANONICAL_DESIGNS)}
 
 
-def canonical_order(designs: Iterable[DesignSpec]) -> list:
-    """Sort canonical designs into paper order; customs keep their order."""
+def canonical_order(designs: Iterable[DesignSpec], strict_names: bool = False) -> list:
+    """Sort canonical designs into paper order; customs keep their order.
+
+    "Canonical" is decided by :class:`DesignSpec` equality, which
+    compares the four mechanism axes only — so a composed spec such as
+    ``hw+undo+nowb`` sorts as the canonical ``hw-ulog`` design it
+    structurally is, even though its display name differs.  That is
+    usually what figure code wants: equal mechanisms are the same point
+    in the design space, whatever they were called on the command line.
+
+    ``strict_names=True`` additionally requires the spec's display
+    ``name`` to match the registered canonical name, so mechanism-equal
+    aliases keep their user-given position among the customs instead of
+    being folded into paper order.
+    """
     designs = list(designs)
-    canonical = [d for d in designs if d in _CANONICAL_ORDER]
+
+    def _is_canonical(d: DesignSpec) -> bool:
+        if d not in _CANONICAL_ORDER:
+            return False
+        if strict_names:
+            return any(d.name == c.name for c in CANONICAL_DESIGNS if c == d)
+        return True
+
+    canonical = [d for d in designs if _is_canonical(d)]
     canonical.sort(key=_CANONICAL_ORDER.__getitem__)
-    custom = [d for d in designs if d not in _CANONICAL_ORDER]
+    custom = [d for d in designs if not _is_canonical(d)]
     return canonical + custom
 
 

@@ -21,12 +21,22 @@ the workload's public attributes, via
 hash, and simulator-behaviour changes are handled by bumping
 :data:`CODE_SALT`, which is folded into every key.
 
+This module also hosts :class:`TraceCache`, the compiled-trace store
+used by the trace-replay execution engine (:mod:`repro.sim.replay`).
+Unlike the result cache it is an *engine* detail — it changes how a cell
+is executed, never what its stats are — so it is on by default and keyed
+**without** the design (one trace serves every design cell).
+
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache`` in the
   current working directory);
-* ``REPRO_SWEEP_CACHE=0`` — disable the cache even where the CLI would
-  turn it on (:func:`cache_enabled`).
+* ``REPRO_SWEEP_CACHE=0`` — disable the result cache even where the CLI
+  would turn it on (:func:`cache_enabled`);
+* ``REPRO_TRACE=0`` — disable the trace-replay engine entirely (every
+  cell runs interpreted, as before the engine existed);
+* ``REPRO_TRACE_CACHE=0`` — keep the engine but skip its on-disk store
+  (traces are still compiled once per process and memoised in memory).
 """
 
 from __future__ import annotations
@@ -49,16 +59,35 @@ from ..workloads.base import Workload
 #: (v2: keys switched from policy names to design-spec mechanisms.)
 CODE_SALT = "sweep-v2"
 
+#: Bump whenever the recorded column format or recording semantics
+#: change; stale ``.ctrace`` files then fail decoding and are recompiled.
+TRACE_SALT = "ctrace-v1"
+
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_DISABLE = "REPRO_SWEEP_CACHE"
+ENV_TRACE = "REPRO_TRACE"
+ENV_TRACE_CACHE = "REPRO_TRACE_CACHE"
 
 _STATS_FIELDS = {f.name for f in dataclasses.fields(MachineStats)}
 _INT_KEY_FIELDS = ("per_core_instructions", "per_core_cycles")
 
 
+_OFF_VALUES = ("0", "off", "no", "false")
+
+
 def cache_enabled() -> bool:
     """False when ``REPRO_SWEEP_CACHE`` is set to an off value."""
-    return os.environ.get(ENV_DISABLE, "1").lower() not in ("0", "off", "no", "false")
+    return os.environ.get(ENV_DISABLE, "1").lower() not in _OFF_VALUES
+
+
+def trace_enabled() -> bool:
+    """False when ``REPRO_TRACE`` is set to an off value."""
+    return os.environ.get(ENV_TRACE, "1").lower() not in _OFF_VALUES
+
+
+def trace_cache_enabled() -> bool:
+    """False when ``REPRO_TRACE_CACHE`` is set to an off value."""
+    return os.environ.get(ENV_TRACE_CACHE, "1").lower() not in _OFF_VALUES
 
 
 def default_cache_dir() -> Path:
@@ -243,3 +272,144 @@ class SweepCache:
         if self.corrupt:
             line += f", {self.corrupt} corrupt entr(ies) recomputed"
         return f"{line} ({self.directory})"
+
+
+class TraceCache:
+    """Two-level store of compiled workload traces.
+
+    Level 1 is an in-process LRU memo (a ``repro bench`` run repeats each
+    suite several times; repeats skip even the disk decode), level 2 a
+    directory of ``.ctrace`` files written by the
+    :meth:`~repro.sim.ctrace.CompiledTrace.to_bytes` codec.  Keys cover
+    system config, workload identity, thread count and transactions per
+    thread — **not** the design: the whole point of the engine is that
+    one trace replays under every design cell.
+
+    Corrupt or format-incompatible files are counted, reported, and
+    recompiled, mirroring :class:`SweepCache`.
+    """
+
+    MEMO_ENTRIES = 8
+
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        salt: str = TRACE_SALT,
+        use_disk: Optional[bool] = None,
+    ) -> None:
+        # Directory and disk-enable default to the *current* environment
+        # on every access (not frozen at construction): the process-wide
+        # instance outlives environment changes made by tests and CLIs.
+        self._directory = Path(directory) if directory is not None else None
+        self.salt = salt
+        self._use_disk = use_disk
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self._memo: "dict[str, object]" = {}
+
+    @property
+    def directory(self) -> Path:
+        return self._directory if self._directory is not None else default_cache_dir()
+
+    @property
+    def use_disk(self) -> bool:
+        return self._use_disk if self._use_disk is not None else trace_cache_enabled()
+
+    def key(
+        self,
+        system: SystemConfig,
+        workload: Workload,
+        threads: int,
+        txns_per_thread: int,
+    ) -> str:
+        """Content hash of everything that determines the recorded trace."""
+        material = {
+            "salt": self.salt,
+            "system": dataclasses.asdict(system),
+            "workload": workload.identity_key(),
+            "threads": threads,
+            "txns_per_thread": txns_per_thread,
+        }
+        canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.ctrace"
+
+    def get(self, key: str):
+        """Cached :class:`~repro.sim.ctrace.CompiledTrace` or None."""
+        trace = self._memo.get(key)
+        if trace is not None:
+            # Re-insert to keep LRU order (dicts preserve insertion order).
+            self._memo.pop(key)
+            self._memo[key] = trace
+            self.hits += 1
+            return trace
+        if not self.use_disk:
+            self.misses += 1
+            return None
+        from ..sim.ctrace import CompiledTrace
+
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            trace = CompiledTrace.from_bytes(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.corrupt += 1
+            self.misses += 1
+            print(
+                f"warning: corrupt trace-cache entry {path.name}: {exc!r}; "
+                "recompiling",
+                file=sys.stderr,
+            )
+            return None
+        self._remember(key, trace)
+        self.hits += 1
+        return trace
+
+    def put(self, key: str, trace) -> None:
+        """Store a compiled trace (memo always; disk when enabled)."""
+        self._remember(key, trace)
+        self.stores += 1
+        if not self.use_disk:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(trace.to_bytes())
+        os.replace(tmp, path)
+
+    def _remember(self, key: str, trace) -> None:
+        self._memo.pop(key, None)
+        self._memo[key] = trace
+        while len(self._memo) > self.MEMO_ENTRIES:
+            self._memo.pop(next(iter(self._memo)))
+
+    def summary(self) -> str:
+        """One-line counter summary for CLI output."""
+        line = (
+            f"trace cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} compiled"
+        )
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt entr(ies) recompiled"
+        return f"{line} ({self.directory})"
+
+
+#: Process-wide trace cache shared by every sweep in this process (the
+#: in-memory memo is what makes bench repeats and multi-figure CLI runs
+#: skip recompilation).
+_SHARED_TRACE_CACHE: Optional[TraceCache] = None
+
+
+def shared_trace_cache() -> TraceCache:
+    """The process-wide :class:`TraceCache` (created on first use)."""
+    global _SHARED_TRACE_CACHE
+    if _SHARED_TRACE_CACHE is None:
+        _SHARED_TRACE_CACHE = TraceCache()
+    return _SHARED_TRACE_CACHE

@@ -45,8 +45,10 @@ from .runner import PreparedWorkload, RunConfig, run_workload
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep imports us)
     from .sweep import SweepCell
 
-#: Per-worker prepared state, installed by :func:`_init_worker`.
-_WORKER_PREPARED: Dict[str, PreparedWorkload] = {}
+#: Per-worker prepared state, installed by :func:`_init_worker`: prepared
+#: workloads keyed by benchmark, compiled traces keyed
+#: ``trace:<benchmark>@<threads>`` (as ``(system, trace)`` pairs).
+_WORKER_PREPARED: Dict[str, object] = {}
 
 #: Test-only fault hook (see :func:`_apply_test_fault`).
 ENV_FAULT_DIR = "REPRO_SWEEP_FAULT_DIR"
@@ -90,7 +92,7 @@ class SweepHealth:
         )
 
 
-def _init_worker(prepared_map: Dict[str, PreparedWorkload]) -> None:
+def _init_worker(prepared_map: Dict[str, object]) -> None:
     """Pool initializer: receive the prepared workloads once."""
     global _WORKER_PREPARED
     _WORKER_PREPARED = prepared_map
@@ -155,22 +157,46 @@ def _run_cell(
     seed: int,
     psan: bool = False,
 ) -> MachineStats:
-    """Run one sweep cell in a worker process; returns its stats."""
+    """Run one sweep cell in a worker process; returns its stats.
+
+    The sweep ships compiled traces under ``trace:<benchmark>@<threads>``
+    keys (as ``(system, trace)`` pairs) alongside any prepared workloads;
+    a cell with a trace replays it (bit-identical stats, far cheaper) and
+    falls back to interpreting the prepared workload otherwise.
+    """
     _apply_test_fault(benchmark, threads, policy)
-    prepared = _WORKER_PREPARED[benchmark]
     holder: dict = {}
-    outcome = run_workload(
-        prepared.workload,
-        RunConfig(
-            policy=policy,
-            threads=threads,
-            txns_per_thread=txns_per_thread,
-            system=prepared.system,
-            seed=seed,
-        ),
-        prepared=prepared,
-        machine_hook=_psan_hook(holder) if psan else None,
-    )
+    hook = _psan_hook(holder) if psan else None
+    entry = _WORKER_PREPARED.get(f"trace:{benchmark}@{threads}")
+    if entry is not None:
+        from ..sim.replay import run_compiled
+
+        system, trace = entry
+        outcome = run_compiled(
+            trace,
+            RunConfig(
+                policy=policy,
+                threads=threads,
+                txns_per_thread=txns_per_thread,
+                system=system,
+                seed=seed,
+            ),
+            machine_hook=hook,
+        )
+    else:
+        prepared = _WORKER_PREPARED[benchmark]
+        outcome = run_workload(
+            prepared.workload,
+            RunConfig(
+                policy=policy,
+                threads=threads,
+                txns_per_thread=txns_per_thread,
+                system=prepared.system,
+                seed=seed,
+            ),
+            prepared=prepared,
+            machine_hook=hook,
+        )
     outcome.machine.nvram.recycle()
     if psan:
         _finish_psan(holder, outcome.stats, benchmark, threads)
@@ -204,6 +230,45 @@ def _run_cell_inline(
     return outcome.stats
 
 
+def _run_trace_inline(
+    trace,
+    system,
+    cell: "SweepCell",
+    txns_per_thread: int,
+    seed: int,
+    psan: bool = False,
+) -> MachineStats:
+    """Serial trace replay of one cell in the driver process."""
+    from ..sim.replay import run_compiled
+
+    holder: dict = {}
+    outcome = run_compiled(
+        trace,
+        RunConfig(
+            policy=cell.policy,
+            threads=cell.threads,
+            txns_per_thread=txns_per_thread,
+            system=system,
+            seed=seed,
+        ),
+        machine_hook=_psan_hook(holder) if psan else None,
+    )
+    outcome.machine.nvram.recycle()
+    if psan:
+        _finish_psan(holder, outcome.stats, cell.benchmark, cell.threads)
+    return outcome.stats
+
+
+def default_jobs(cells: int) -> int:
+    """CPU-aware worker count for sweeps that don't pin ``jobs``.
+
+    One worker per pending cell, capped at ``os.cpu_count() - 1`` so the
+    driver process keeps a core, and never below 1 (which callers treat
+    as the serial in-process path — no pool is spun up at all).
+    """
+    return max(1, min(cells, (os.cpu_count() or 2) - 1))
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down hard: hung workers are terminated, not joined."""
     processes = list(getattr(pool, "_processes", {}).values())
@@ -216,7 +281,7 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _parallel_round(
-    prepared_map: Dict[str, PreparedWorkload],
+    prepared_map: Dict[str, object],
     cells: List["SweepCell"],
     txns_per_thread: int,
     seed: int,
@@ -272,7 +337,7 @@ def _parallel_round(
 
 
 def run_cells_parallel(
-    prepared_map: Dict[str, PreparedWorkload],
+    prepared_map: Dict[str, object],
     cells: Iterable["SweepCell"],
     txns_per_thread: int,
     seed: int,
@@ -325,7 +390,14 @@ def run_cells_parallel(
     # Last resort: no pool machinery between us and the result.
     for cell in remaining:
         health.serial_fallback_cells += 1
-        results[cell] = _run_cell_inline(
-            prepared_map[cell.benchmark], cell, txns_per_thread, seed, psan
-        )
+        entry = prepared_map.get(f"trace:{cell.benchmark}@{cell.threads}")
+        if entry is not None:
+            system, trace = entry
+            results[cell] = _run_trace_inline(
+                trace, system, cell, txns_per_thread, seed, psan
+            )
+        else:
+            results[cell] = _run_cell_inline(
+                prepared_map[cell.benchmark], cell, txns_per_thread, seed, psan
+            )
     return results

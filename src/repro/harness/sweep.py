@@ -5,7 +5,7 @@ count x policy); :func:`run_micro_sweep` executes it once and the figure
 functions extract their metric.  Only the stats snapshot is retained per
 cell to keep memory bounded.
 
-The sweep engine has two throughput levers on top of the serial loop:
+The sweep engine has three throughput levers on top of the serial loop:
 
 * ``jobs=N`` fans the cells over worker processes
   (:mod:`~repro.harness.parallel`); cells are independent, so results are
@@ -13,6 +13,11 @@ The sweep engine has two throughput levers on top of the serial loop:
 * ``cache=`` consults a content-addressed on-disk store
   (:mod:`~repro.harness.cache`) before running anything; benchmarks whose
   cells all hit are never even prepared.
+* trace compilation (:mod:`~repro.sim.replay`, on by default for
+  ``trace_compilable`` workloads, ``REPRO_TRACE=0`` to disable): each
+  ``(benchmark, threads)`` pair's micro-op stream is decoded once —
+  or fetched from the shared trace cache, skipping preparation entirely
+  — and replayed per design cell, bit-identically.
 
 Whatever mix of cached and fresh cells a sweep ends up with, the result
 dict is assembled in canonical matrix order (benchmarks outermost,
@@ -31,7 +36,7 @@ from ..sim.config import SystemConfig
 from ..sim.stats import MachineStats
 from ..workloads import make_microbenchmark
 from ..workloads.base import Workload
-from .cache import SweepCache
+from .cache import SweepCache, shared_trace_cache, trace_enabled
 from .runner import default_experiment_config, prepare_workload
 
 
@@ -174,17 +179,60 @@ def run_micro_sweep(
         pending.append(cell)
 
     if pending:
-        needed = {cell.benchmark for cell in pending}
-        prepared = {
-            benchmark: prepare_workload(workloads[benchmark], system)
-            for benchmark in benchmarks
-            if benchmark in needed
-        }
+        # Execution planning: cells of trace-compilable workloads replay
+        # a compiled trace (decode once per (benchmark, threads), replay
+        # per design cell — see repro.sim.replay); everything else runs
+        # interpreted from a prepared snapshot.  When a benchmark's
+        # traces all come from the trace cache, its (expensive) setup
+        # phase is skipped entirely.
+        needed_threads: Dict[str, set] = {}
+        for cell in pending:
+            needed_threads.setdefault(cell.benchmark, set()).add(cell.threads)
+
+        trace_cache = shared_trace_cache() if trace_enabled() else None
+        prepared: Dict[str, object] = {}
+        traces: Dict[tuple, object] = {}
+
+        def _prepared_for(benchmark: str):
+            if benchmark not in prepared:
+                prepared[benchmark] = prepare_workload(workloads[benchmark], system)
+            return prepared[benchmark]
+
+        for benchmark, thread_counts in needed_threads.items():
+            workload = workloads[benchmark]
+            if trace_cache is not None and getattr(workload, "trace_compilable", False):
+                from ..sim.replay import compile_trace
+
+                for nthreads in sorted(thread_counts):
+                    trace_key = trace_cache.key(
+                        resolved_system, workload, nthreads, txns_per_thread
+                    )
+                    trace = trace_cache.get(trace_key)
+                    if trace is None:
+                        trace = compile_trace(
+                            _prepared_for(benchmark), nthreads, txns_per_thread
+                        )
+                        trace_cache.put(trace_key, trace)
+                    traces[(benchmark, nthreads)] = trace
+            else:
+                _prepared_for(benchmark)
+
         if jobs > 1:
             from .parallel import run_cells_parallel
 
+            # Ship compiled traces to the pool workers; a prepared
+            # snapshot rides along only for benchmarks with interpreted
+            # cells.
+            traced_benchmarks = {benchmark for benchmark, _ in traces}
+            shipping: Dict[str, object] = {
+                benchmark: prepared[benchmark]
+                for benchmark in needed_threads
+                if benchmark not in traced_benchmarks
+            }
+            for (benchmark, nthreads), trace in traces.items():
+                shipping[f"trace:{benchmark}@{nthreads}"] = (resolved_system, trace)
             fresh = run_cells_parallel(
-                prepared,
+                shipping,
                 pending,
                 txns_per_thread,
                 seed,
@@ -196,20 +244,31 @@ def run_micro_sweep(
                 psan=psan_report is not None,
             )
         else:
-            from .parallel import _run_cell_inline
+            from .parallel import _run_cell_inline, _run_trace_inline
 
             fresh = {}
             for cell in pending:
-                # _run_cell_inline recycles the finished machine's NVRAM
-                # buffer, saving an allocate+zero of the full device for
-                # the next cell.
-                fresh[cell] = _run_cell_inline(
-                    prepared[cell.benchmark],
-                    cell,
-                    txns_per_thread,
-                    seed,
-                    psan=psan_report is not None,
-                )
+                # Both inline runners recycle the finished machine's
+                # NVRAM buffer, saving an allocate+zero of the full
+                # device for the next cell.
+                trace = traces.get((cell.benchmark, cell.threads))
+                if trace is not None:
+                    fresh[cell] = _run_trace_inline(
+                        trace,
+                        resolved_system,
+                        cell,
+                        txns_per_thread,
+                        seed,
+                        psan=psan_report is not None,
+                    )
+                else:
+                    fresh[cell] = _run_cell_inline(
+                        prepared[cell.benchmark],
+                        cell,
+                        txns_per_thread,
+                        seed,
+                        psan=psan_report is not None,
+                    )
         for cell, stats in fresh.items():
             collected[cell] = stats
             if cache is not None:

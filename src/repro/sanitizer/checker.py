@@ -655,8 +655,15 @@ def run_psan(
     attached before setup, so the stream covers exactly the timed
     execution.  ``trace_path`` additionally saves the raw event stream
     as JSONL for offline re-checking (``repro psan --from-trace``).
+
+    Trace-compilable workloads run on the execution engine's via-API
+    replay (the checker's tracer forces the event-exact engine, so the
+    sanitized stream is bit-identical to interpretation —
+    ``tests/sim/test_replay.py``); one decode then amortizes across the
+    whole policy x threads matrix through the shared trace cache.
     """
-    from ..harness.runner import RunConfig, run_workload
+    from ..harness.cache import shared_trace_cache, trace_enabled
+    from ..harness.runner import RunConfig, prepare_workload, run_workload
     from ..workloads import make_microbenchmark
 
     if prepared is not None:
@@ -668,18 +675,43 @@ def run_psan(
     def hook(machine) -> None:
         holder["checker"] = PersistOrderChecker.attach(machine, capacity=capacity)
 
-    outcome = run_workload(
-        workload,
-        RunConfig(
-            policy=policy,
-            threads=threads,
-            txns_per_thread=txns_per_thread,
-            system=system,
-            seed=seed,
-        ),
-        prepared=prepared,
-        machine_hook=hook,
-    )
+    if trace_enabled() and getattr(workload, "trace_compilable", False):
+        from ..sim.replay import compile_trace, run_compiled
+
+        if prepared is None:
+            prepared = prepare_workload(workload, system)
+        trace_cache = shared_trace_cache()
+        trace_key = trace_cache.key(
+            prepared.system, workload, threads, txns_per_thread
+        )
+        trace = trace_cache.get(trace_key)
+        if trace is None:
+            trace = compile_trace(prepared, threads, txns_per_thread)
+            trace_cache.put(trace_key, trace)
+        outcome = run_compiled(
+            trace,
+            RunConfig(
+                policy=policy,
+                threads=threads,
+                txns_per_thread=txns_per_thread,
+                system=prepared.system,
+                seed=seed,
+            ),
+            machine_hook=hook,
+        )
+    else:
+        outcome = run_workload(
+            workload,
+            RunConfig(
+                policy=policy,
+                threads=threads,
+                txns_per_thread=txns_per_thread,
+                system=system,
+                seed=seed,
+            ),
+            prepared=prepared,
+            machine_hook=hook,
+        )
     checker = holder["checker"]
     if trace_path is not None:
         checker.tracer.to_jsonl(trace_path)

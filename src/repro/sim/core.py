@@ -12,6 +12,12 @@ Per-core state relevant to persistence:
 * ``pending_completion`` — the latest durability time of writes this core
   has posted via clwb or the WCB; ``sfence`` waits for it;
 * a private write-combining buffer for uncacheable software log stores.
+
+Every op exists in two forms: a scalar ``exec_*`` method taking plain
+arguments (the single source of the timing/stat formulas, also called
+directly by the trace-replay engine in :mod:`repro.sim.replay`) and a
+thin ``_exec_*`` wrapper unpacking the corresponding
+:class:`~repro.sim.microops.MicroOp` for the interpreted path.
 """
 
 from __future__ import annotations
@@ -58,21 +64,21 @@ class Core:
     def execute(self, op: MicroOp) -> Optional[object]:
         """Execute one micro-op; returns load data or commit time if any."""
         if isinstance(op, Compute):
-            return self._exec_compute(op)
+            return self.exec_compute(op.count)
         if isinstance(op, Load):
-            return self._exec_load(op)
+            return self.exec_load(op.addr, op.size)
         if isinstance(op, Store):
-            return self._exec_store(op)
+            return self.exec_store(op.addr, op.data, op.persistent, op.txid, op.tid)
         if isinstance(op, LogStore):
-            return self._exec_logstore(op)
+            return self.exec_logstore(op.addr, op.payload)
         if isinstance(op, CLWB):
-            return self._exec_clwb(op)
+            return self.exec_clwb(op.addr)
         if isinstance(op, Fence):
-            return self._exec_fence(op)
+            return self.exec_fence()
         if isinstance(op, TxBegin):
-            return self._exec_tx_begin(op)
+            return self.exec_tx_begin(op.txid, op.tid, op.overhead_instrs)
         if isinstance(op, TxCommit):
-            return self._exec_tx_commit(op)
+            return self.exec_tx_commit(op.txid, op.tid, op.overhead_instrs)
         raise SimulationError(f"unknown micro-op {op!r}")
 
     # ------------------------------------------------------------------
@@ -81,12 +87,14 @@ class Core:
         self._stats.instructions += count
         self._energy.instructions(count)
 
-    def _exec_compute(self, op: Compute) -> None:
-        self._retire(op.count)
-        self.time += op.count * self._config.cpi_alu
+    def exec_compute(self, count: int) -> None:
+        """``count`` ALU/branch instructions."""
+        self._retire(count)
+        self.time += count * self._config.cpi_alu
 
-    def _exec_load(self, op: Load) -> bytes:
-        result = self._hierarchy.load(self.core_id, op.addr, op.size, self.time)
+    def exec_load(self, addr: int, size: int) -> bytes:
+        """Cacheable read; returns the loaded bytes."""
+        result = self._hierarchy.load(self.core_id, addr, size, self.time)
         self._retire(1)
         if result.level == "l1":
             charge = self._config.load_issue_cycles + 1.0
@@ -96,14 +104,32 @@ class Core:
         self.time += charge
         return result.data
 
-    def _exec_store(self, op: Store) -> None:
+    def exec_load_fast(self, addr: int, line_addr: int) -> None:
+        """Timing/stat-identical :meth:`exec_load` that skips materialising
+        the loaded bytes (trace replay never consumes them).  ``line_addr``
+        is the precomputed line base (the replay engine decodes it once
+        per trace, not once per access)."""
+        latency, l1_hit = self._hierarchy.load_fast(
+            self.core_id, addr, self.time, line_addr
+        )
+        self._retire(1)
+        if l1_hit:
+            self.time += self._config.load_issue_cycles + 1.0
+        else:
+            extra = latency - self._hierarchy.l1_latency
+            self.time += (
+                self._config.load_issue_cycles + self._config.load_miss_exposed * extra
+            )
+
+    def exec_store(
+        self, addr: int, data: bytes, persistent: bool = False, txid: int = 0, tid: int = 0
+    ) -> None:
+        """Cacheable write; persistent stores route through the HWL engine."""
         # Two-phase store: allocate the line and capture the old value
         # first; for persistent stores the HWL engine logs undo+redo
         # before the new value becomes visible to write-backs (so a
         # log-wrap force in between can never leak an unlogged value).
-        result = self._hierarchy.store_prepare(
-            self.core_id, op.addr, len(op.data), self.time
-        )
+        result = self._hierarchy.store_prepare(self.core_id, addr, len(data), self.time)
         self._retire(1)
         charge = self._config.store_issue_cycles
         if result.level != "l1":
@@ -111,51 +137,54 @@ class Core:
             charge += self._config.store_miss_exposed * extra
         self.time += charge
         release = 0.0
-        if op.persistent and self._hwl is not None:
+        if persistent and self._hwl is not None:
             stall, release = self._hwl.on_store(
                 self.core_id,
-                op.txid,
-                op.tid,
-                op.addr,
+                txid,
+                tid,
+                addr,
                 result.old_data,
-                op.data,
+                data,
                 result.line_addr,
                 self.time,
             )
             self.time += stall
-        self._hierarchy.store_finish(self.core_id, op.addr, op.data, release)
+        self._hierarchy.store_finish(self.core_id, addr, data, release)
         if self.tracer is not None:
             self.tracer.emit(
                 self.time,
                 "store",
                 self.core_id,
-                addr=op.addr,
-                size=len(op.data),
-                persistent=op.persistent,
-                txid=op.txid if op.persistent else None,
-                tid=op.tid if op.persistent else None,
+                addr=addr,
+                size=len(data),
+                persistent=persistent,
+                txid=txid if persistent else None,
+                tid=tid if persistent else None,
                 line=result.line_addr,
                 old=result.old_data.hex(),
-                new=op.data.hex(),
+                new=data.hex(),
                 release=release,
             )
 
-    def _exec_logstore(self, op: LogStore) -> None:
+    def exec_logstore(self, addr: int, payload: bytes) -> None:
+        """Uncacheable software log-record store through the WCB."""
         self._retire(1)
         self.time += self._config.uncached_store_issue_cycles
-        stall = self.wcb.push(op.addr, op.payload, self.time)
+        stall = self.wcb.push(addr, payload, self.time)
         self.time += stall
         self._stats.log_records += 1
-        self._stats.log_bytes += len(op.payload)
+        self._stats.log_bytes += len(payload)
 
-    def _exec_clwb(self, op: CLWB) -> None:
+    def exec_clwb(self, addr: int) -> None:
+        """Force write-back of the line containing ``addr``."""
         self._retire(1)
         self.time += self._config.clwb_issue_cycles
-        completion = self._hierarchy.clwb(self.core_id, op.addr, self.time)
+        completion = self._hierarchy.clwb(self.core_id, addr, self.time)
         if completion is not None:
             self.pending_completion = max(self.pending_completion, completion)
 
-    def _exec_fence(self, op: Fence) -> None:
+    def exec_fence(self) -> None:
+        """Wait for this core's posted writes to become durable (sfence)."""
         self._retire(1)
         self.time += self._config.fence_issue_cycles
         self.wcb.flush(self.time)
@@ -164,19 +193,21 @@ class Core:
             self._stats.fence_stall_cycles += self.pending_completion - self.time
             self.time = self.pending_completion
 
-    def _exec_tx_begin(self, op: TxBegin) -> None:
+    def exec_tx_begin(self, txid: int, tid: int, overhead_instrs: int) -> None:
+        """Transaction begin (sets the txid special register)."""
         self._stats.transactions_started += 1
-        if op.overhead_instrs:
-            self._retire(op.overhead_instrs)
-            self.time += op.overhead_instrs * self._config.cpi_alu
+        if overhead_instrs:
+            self._retire(overhead_instrs)
+            self.time += overhead_instrs * self._config.cpi_alu
         if self._hwl is not None:
-            self._hwl.on_tx_begin(op.txid, op.tid, self.time)
+            self._hwl.on_tx_begin(txid, tid, self.time)
 
-    def _exec_tx_commit(self, op: TxCommit) -> Optional[float]:
+    def exec_tx_commit(self, txid: int, tid: int, overhead_instrs: int) -> Optional[float]:
+        """Transaction commit; returns the HWL durability time, if any."""
         self._stats.transactions_committed += 1
-        if op.overhead_instrs:
-            self._retire(op.overhead_instrs)
-            self.time += op.overhead_instrs * self._config.cpi_alu
+        if overhead_instrs:
+            self._retire(overhead_instrs)
+            self.time += overhead_instrs * self._config.cpi_alu
         if self._hwl is not None:
-            return self._hwl.on_tx_commit(op.txid, op.tid, self.time)
+            return self._hwl.on_tx_commit(txid, tid, self.time)
         return None

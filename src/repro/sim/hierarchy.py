@@ -243,6 +243,32 @@ class CacheHierarchy:
         latency = self.l1_latency + llc_extra + extra + tax
         return LoadResult(latency, level, bytes(filled.data[off:off + size]))
 
+    def load_fast(
+        self, core_id: int, addr: int, now: float, line_addr: int
+    ) -> tuple[float, bool]:
+        """Stat/timing-identical :meth:`load` without materialising data.
+
+        The trace-replay engine (:mod:`repro.sim.replay`) never consumes
+        load results, so this path skips the ``bytes`` slice and the
+        :class:`LoadResult` construction; ``line_addr`` is precomputed by
+        the caller (once per compiled trace, not once per access).
+        Returns ``(latency, l1_hit)``.  Every counter, energy charge and
+        functional state transition matches :meth:`load` exactly.
+        """
+        tax = self._take_tax()
+        self._energy.cache_access("l1")
+        l1 = self.l1s[core_id]
+        line = l1.lookup(addr)
+        if line is not None:
+            self._stats.l1_hits += 1
+            l1.touch(line, now)
+            return self.l1_latency + tax, True
+        self._stats.l1_misses += 1
+        extra = self._pull_remote_dirty(core_id, line_addr, now, invalidate=False)
+        llc_extra, llc_line = self._fetch_llc(line_addr, now)
+        self._fill_l1(core_id, line_addr, llc_line.data, now, 0.0)
+        return self.l1_latency + llc_extra + extra + tax, False
+
     def store_prepare(self, core_id: int, addr: int, size: int, now: float) -> StoreResult:
         """Write-allocate phase of a store: bring the line to L1 and read
         the old bytes — the undo value HWL captures — *without* making the

@@ -88,6 +88,14 @@ class Workload(abc.ABC):
     paper_footprint: str = "-"
     #: one-line description for Table III.
     description: str = ""
+    #: True when thread bodies are partitioned and deterministic per
+    #: ``(seed, tid)`` — touching only their own partition through the
+    #: accessor protocol, never reading uninitialised memory — so the
+    #: trace-compilation engine (:mod:`repro.sim.replay`) may record each
+    #: thread once and replay the stream under every design.  Workloads
+    #: with cross-thread coupling or direct heap/NVRAM access must leave
+    #: this False and run interpreted.
+    trace_compilable: bool = False
 
     def __init__(self, seed: int = 42, value_kind: str = "int") -> None:
         if value_kind not in ("int", "string"):

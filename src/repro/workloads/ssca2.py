@@ -47,6 +47,7 @@ class SSCA2Workload(Workload):
     """Transactional SSCA 2.2-style graph analyses."""
 
     name = "ssca2"
+    trace_compilable = True
     paper_footprint = "16 MB"
     description = (
         "A transactional implementation of SSCA 2.2, performing several "

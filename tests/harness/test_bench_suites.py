@@ -19,6 +19,8 @@ EXPECTED_SUITES = [
     "logbuffer-drain",
     "recovery-replay",
     "sweep-cache-hit",
+    "compile-decode",
+    "compile-replay",
     "ablate-grid",
 ]
 

@@ -1,0 +1,90 @@
+"""Trace-cache behaviour of the sweep engine.
+
+The sweep compiles each trace-compilable (benchmark, threads) pair once
+and replays it per design cell; the compiled trace is memoised
+in-process and persisted to disk, so a warm sweep skips workload
+preparation entirely.  ``REPRO_TRACE=0`` switches the engine off and
+must reproduce identical results through the interpreter.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.cache import TraceCache, shared_trace_cache, trace_enabled
+from repro.harness.sweep import run_micro_sweep
+
+MATRIX = dict(benchmarks=("hash",), threads=(1, 2), txns_per_thread=10)
+
+
+def _snapshot(result):
+    return {
+        (cell.benchmark, cell.threads, cell.policy.value): dataclasses.asdict(stats)
+        for cell, stats in result.cells.items()
+    }
+
+
+def test_traced_sweep_matches_interpreted(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    interpreted = _snapshot(run_micro_sweep(**MATRIX))
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    traced = _snapshot(run_micro_sweep(**MATRIX))
+    assert interpreted == traced
+
+
+def test_warm_sweep_hits_trace_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert trace_enabled()
+    cache = shared_trace_cache()
+    cold_misses = cache.misses
+    # seed=9 keeps this matrix distinct from other tests sharing the
+    # process-wide memo, so the first sweep really is cold.
+    first = _snapshot(run_micro_sweep(**MATRIX, seed=9))
+    assert cache.misses > cold_misses  # compiled at least once
+    warm_hits = cache.hits
+    second = _snapshot(run_micro_sweep(**MATRIX, seed=9))
+    assert cache.hits > warm_hits  # second sweep replayed from cache
+    assert first == second
+
+
+def test_trace_cache_disk_roundtrip_and_corruption(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.harness.runner import prepare_workload
+    from repro.sim.replay import compile_trace
+    from repro.workloads.hashtable import HashTableWorkload
+    from tests.conftest import tiny_system
+
+    prepared = prepare_workload(
+        HashTableWorkload(seed=3, buckets_per_partition=8, keys_per_partition=32),
+        tiny_system(),
+    )
+    trace = compile_trace(prepared, 1, 4)
+    cache = TraceCache(tmp_path)
+    key = cache.key(prepared.system, prepared.workload, 1, 4)
+    assert cache.get(key) is None
+    cache.put(key, trace)
+    # A fresh cache (empty memo) must decode from disk.
+    fresh = TraceCache(tmp_path)
+    loaded = fresh.get(key)
+    assert loaded is not None and loaded.op_count() == trace.op_count()
+    # Corrupt file: counted, dropped, treated as a miss.
+    path = fresh._path(key)
+    path.write_bytes(b"garbage")
+    broken = TraceCache(tmp_path)
+    assert broken.get(key) is None
+    assert broken.corrupt == 1
+
+
+def test_trace_key_ignores_design(tmp_path):
+    from repro.harness.runner import prepare_workload
+    from repro.workloads.hashtable import HashTableWorkload
+    from tests.conftest import tiny_system
+
+    workload = HashTableWorkload(seed=3)
+    system = tiny_system()
+    cache = TraceCache(tmp_path)
+    assert cache.key(system, workload, 2, 10) == cache.key(system, workload, 2, 10)
+    assert cache.key(system, workload, 2, 10) != cache.key(system, workload, 4, 10)
+    assert cache.key(system, workload, 2, 10) != cache.key(system, workload, 2, 20)

@@ -39,6 +39,8 @@ class TestParser:
         assert args.commits == "fenced"
         assert args.benchmarks == "hash"
         assert not args.no_psan
+        assert args.jobs is None  # auto: sized to the grid and the host
+        assert not args.chart
 
 
 class TestCommands:
@@ -99,6 +101,25 @@ class TestCommands:
         assert code == 0
         assert "2 design(s)" in out
         assert "hw+undo+redo+clwb" in out and "hw+undo+redo+fwb" in out
+
+    def test_ablate_chart(self, capsys):
+        code = main(
+            [
+                "ablate",
+                "--specs",
+                "hwl,fwb",
+                "--txns",
+                "10",
+                "--no-psan",
+                "--jobs",
+                "1",
+                "--chart",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ablation throughput" in out
+        assert "█" in out
 
     def test_ablate_empty_grid_errors(self, capsys):
         code = main(["ablate", "--backends", "none", "--contents", "undo"])

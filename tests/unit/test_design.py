@@ -261,6 +261,22 @@ class TestCanonicalOrder:
         b = parse_design("sw+redo+fwb")
         assert canonical_order([b, FWB, a]) == [FWB, b, a]
 
+    def test_mechanism_equal_alias_folds_into_paper_order(self):
+        # hw+undo+nowb is mechanism-equal to the canonical hw-ulog, so
+        # by default it sorts as canonical despite its composed name.
+        alias = parse_design("hw+undo+nowb")
+        custom = parse_design("sw+redo+fwb")
+        ordered = canonical_order([custom, alias, FWB])
+        assert ordered == [alias, FWB, custom]
+        assert ordered[0].value == "hw+undo+nowb"
+
+    def test_strict_names_keeps_alias_with_customs(self):
+        alias = parse_design("hw+undo+nowb")
+        custom = parse_design("sw+redo+fwb")
+        assert canonical_order(
+            [custom, alias, FWB], strict_names=True
+        ) == [FWB, custom, alias]
+
 
 class TestExpandGrid:
     def test_skips_invalid_combinations(self):
