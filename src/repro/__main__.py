@@ -23,6 +23,15 @@ Commands
     (micro-op retires, log drains, FWB scans, wrap forces, mid-recovery)
     × fault types (none, torn log writes, ghost records) × policies,
     verifying every surviving NVRAM image against the golden model.
+``dist``
+    Run the distributed replication campaign: M simulated nodes ship the
+    primary's committed HWL log records to R replicas over a
+    latency/bandwidth interconnect, then a node-crash × link-fault grid
+    (primary mid-transaction / mid-log-ship, replica loss, dropped /
+    duplicated / delayed / torn shipment batches, damaged rings,
+    mid-recovery kills) proves convergent recovery: every eligible
+    survivor reconstructs the same bit-identical committed image, gated
+    by the replication-ordering sanitizer rules.
 ``lifetime``
     Print the Section III-F NVRAM lifetime arithmetic for the configured
     log.
@@ -336,6 +345,33 @@ def _cmd_faults(args) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_dist(args) -> int:
+    from .dist import DistConfig, run_dist_campaign
+
+    config = DistConfig(
+        nodes=args.nodes,
+        replicas=args.replicas,
+        batch_records=args.batch_records,
+        window_batches=args.window,
+    )
+    config.validate()
+    result = run_dist_campaign(
+        benchmarks=tuple(args.benchmarks.split(",")),
+        policies=tuple(
+            DESIGNS.resolve(name.strip()) for name in args.policy.split(",")
+        ),
+        config=config,
+        threads=args.threads,
+        txns_per_thread=args.txns,
+        points_budget=args.points,
+        seed=args.seed,
+        probe=not args.no_probe,
+        verbose_sink=print if args.verbose else None,
+    )
+    print(result.render())
+    return 0 if result.passed else 1
+
+
 def _cmd_psan(args) -> int:
     import json
     import os
@@ -618,6 +654,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print one line per policy"
     )
     faults.set_defaults(fn=_cmd_faults)
+    dist = sub.add_parser(
+        "dist",
+        help="replicated log shipping: node-crash × link-fault campaign "
+        "with convergent recovery",
+    )
+    dist.add_argument(
+        "--nodes", type=int, default=3, help="total simulated nodes (default: 3)"
+    )
+    dist.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="replication factor R: log records ship to R standby nodes "
+        "(default: 2; requires nodes >= R+1)",
+    )
+    dist.add_argument(
+        "--benchmarks",
+        default="hash,rbtree,sps,btree,ssca2",
+        help="comma-separated microbenchmarks (default: all five)",
+    )
+    dist.add_argument(
+        "--policy",
+        default="hwl",
+        help="comma-separated designs to trace (default: hwl)",
+    )
+    dist.add_argument(
+        "--points",
+        type=int,
+        default=16,
+        help="fault-grid budget per benchmark (default: 16 — the full grid)",
+    )
+    dist.add_argument("--txns", type=int, default=30)
+    dist.add_argument("--threads", type=int, default=2)
+    dist.add_argument("--seed", type=int, default=42)
+    dist.add_argument(
+        "--batch-records",
+        type=int,
+        default=8,
+        help="records per shipment batch (default: 8)",
+    )
+    dist.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="bounded in-flight window, in batches per link (default: 4)",
+    )
+    dist.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the ack-before-durable must-trip sanitizer probe",
+    )
+    dist.add_argument(
+        "--verbose", action="store_true", help="print one line per fault point"
+    )
+    dist.set_defaults(fn=_cmd_dist)
     sub.add_parser("lifetime").set_defaults(fn=_cmd_lifetime)
     psan = sub.add_parser(
         "psan",

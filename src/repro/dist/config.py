@@ -1,0 +1,94 @@
+"""Topology and interconnect parameters for the distributed model.
+
+All times are in the simulator's cycle units (the same clock
+:class:`~repro.sim.machine.Machine` advances), so shipping timelines
+compose directly with record durability times from the traced run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """One primary-to-replica interconnect link."""
+
+    latency: float = 500.0
+    """One-way propagation delay, cycles (also applied to the ack path)."""
+
+    bandwidth_bytes_per_cycle: float = 4.0
+    """Serialization rate: a batch of B bytes occupies the link for
+    ``B / bandwidth_bytes_per_cycle`` cycles on top of the latency."""
+
+    append_cycles_per_record: float = 10.0
+    """Replica-side cost to make one shipped record durable in its ring."""
+
+    retransmit_timeout: float = 4000.0
+    """How long the primary waits for an ack before re-shipping a batch."""
+
+    def validate(self) -> "LinkConfig":
+        if self.latency < 0:
+            raise ConfigError(f"link latency must be >= 0, got {self.latency}")
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigError(
+                "link bandwidth must be > 0, got "
+                f"{self.bandwidth_bytes_per_cycle}"
+            )
+        if self.retransmit_timeout <= self.latency:
+            raise ConfigError(
+                "retransmit timeout must exceed the one-way latency "
+                f"({self.retransmit_timeout} <= {self.latency})"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class DistConfig:
+    """Cluster topology: one primary plus ``replicas`` log standbys.
+
+    ``nodes`` counts every simulated node (primary included); the
+    replication factor ``replicas`` says how many of the remaining nodes
+    receive the primary's durable log records.  The ack *quorum* is the
+    full replication factor: a transaction is reported cluster-committed
+    only once every replica has acknowledged the batch carrying its
+    COMMIT record, so any single surviving replica can reconstruct every
+    externally acknowledged commit.
+    """
+
+    nodes: int = 3
+    replicas: int = 2
+    batch_records: int = 8
+    """Cut a shipment batch after this many records (a COMMIT record also
+    cuts one, so commit-ack latency is not held hostage by batching)."""
+
+    window_batches: int = 4
+    """Bounded in-flight window per link: at most this many unacked
+    batches may be outstanding before the primary stalls shipping."""
+
+    batch_header_bytes: int = 64
+    """Per-batch wire overhead (sequence numbers, link CRC, framing)."""
+
+    link: LinkConfig = field(default_factory=LinkConfig)
+
+    def validate(self) -> "DistConfig":
+        if self.replicas < 1:
+            raise ConfigError(f"replication factor must be >= 1, got {self.replicas}")
+        if self.nodes < self.replicas + 1:
+            raise ConfigError(
+                f"need at least replicas+1 nodes (one primary): "
+                f"nodes={self.nodes} replicas={self.replicas}"
+            )
+        if self.batch_records < 1:
+            raise ConfigError(f"batch_records must be >= 1, got {self.batch_records}")
+        if self.window_batches < 1:
+            raise ConfigError(f"window_batches must be >= 1, got {self.window_batches}")
+        self.link.validate()
+        return self
+
+    @property
+    def replica_ids(self) -> tuple:
+        """Node ids of the replicas (primary is node 0)."""
+        return tuple(range(1, self.replicas + 1))

@@ -1,0 +1,216 @@
+"""A replica node: its own NVRAM and log ring, fed by shipped records.
+
+A replica is a pure standby for the log stream: its persistent heap
+starts as the primary's post-setup checkpoint image and is *never*
+written during normal operation — only the log ring grows.  Recovery is
+therefore a full redo of every committed transaction in the ring (plus
+the usual undo of an uncommitted tail), run by the ordinary
+:class:`~repro.core.recovery.RecoveryManager` against the replica's own
+NVRAM.  That is the point of the design: the single-node recovery path,
+already hardened by the fault campaign, is the *only* recovery path —
+replication just changes where the ring lives.
+
+The ring is sized to hold the entire run's record stream (slot == global
+sequence number, no wrap), so a replica can reconstruct committed state
+that the primary's small circular log has long overwritten — the primary
+relies on wrap-forced data write-backs that the replica's heap never
+received.  Mid-run ring compaction (dropping records below a
+cluster-wide committed frontier) is future work; the config validates
+the sizing instead of silently wrapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.logrecord import LogRecord, RecordKind
+from ..core.nvlog import CircularLog
+from ..core.recovery import RecoveryManager, RecoveryReport
+from ..errors import ConfigError
+from ..sim.nvram import NVRAM
+
+
+def _ring_entries(count: int) -> int:
+    entries = 64
+    while entries < count:
+        entries *= 2
+    return entries
+
+
+class ReplicaNode:
+    """One standby node holding a full copy of the shipped log."""
+
+    def __init__(
+        self,
+        node_id: int,
+        system,
+        image_prefix: bytes,
+        capacity_records: int,
+        *,
+        line_size: int = 64,
+    ) -> None:
+        self.node_id = node_id
+        entry_size = system.logging.log_entry_size
+        entries = _ring_entries(max(1, capacity_records))
+        primary_size = system.nvram.size_bytes
+        base = primary_size  # ring lives above the mirrored primary space
+        size = base + entries * entry_size
+        # The DIMM geometry requires a whole number of rows per bank.
+        row_stride = system.nvram.row_bytes * system.nvram.num_banks
+        size = ((size + row_stride - 1) // row_stride) * row_stride
+        if capacity_records > entries:
+            raise ConfigError(
+                f"replica ring too small: {capacity_records} records > "
+                f"{entries} entries"
+            )
+        self.primary_size = primary_size
+        self.line_size = line_size
+        self.nvram = NVRAM(
+            replace(system.nvram, size_bytes=size), track_crash_state=False
+        )
+        self.nvram.load_image_prefix(image_prefix)
+        self.ring = CircularLog(base, entries, entry_size, line_size=line_size)
+        self.appended = 0  # slots occupied, torn tail included
+        self.torn_tail = False
+
+    # ------------------------------------------------------------------
+    def append(self, rec) -> int:
+        """Durably append one shipped record; returns its slot (== seq).
+
+        Deduplication is by sequence number: a record for an
+        already-occupied slot (a re-shipped or duplicated batch) is
+        ignored, so replayed batches cannot resurrect state — the slot
+        already holds the identical record, and an undone/aborted tail
+        can only be *truncated*, never re-extended, by recovery.
+        """
+        if self.torn_tail:
+            raise ConfigError(
+                f"replica {self.node_id}: append after a torn tail"
+            )
+        if rec.seq < self.appended:
+            return rec.seq  # duplicate delivery: already durable
+        if rec.seq != self.appended:
+            raise ConfigError(
+                f"replica {self.node_id}: out-of-order append "
+                f"(seq {rec.seq}, expected {self.appended})"
+            )
+        placed = self.ring.place(self._materialize(rec))
+        self.nvram.poke(placed.addr, placed.payload)
+        self.appended += 1
+        return placed.slot
+
+    def append_torn(self, rec, keep_bytes: int) -> int:
+        """A torn landing: only ``keep_bytes`` of the entry became durable."""
+        if rec.seq != self.appended:
+            raise ConfigError(
+                f"replica {self.node_id}: out-of-order torn append "
+                f"(seq {rec.seq}, expected {self.appended})"
+            )
+        placed = self.ring.place(self._materialize(rec))
+        keep = max(0, min(keep_bytes, len(placed.payload)))
+        self.nvram.poke(placed.addr, placed.payload[:keep])
+        self.appended += 1
+        self.torn_tail = True
+        return placed.slot
+
+    def _materialize(self, rec) -> LogRecord:
+        return LogRecord(
+            kind=RecordKind[rec.kind],
+            txid=rec.txid,
+            tid=rec.tid,
+            addr=rec.addr if rec.addr is not None else 0,
+            undo=rec.undo,
+            redo=rec.redo,
+        )
+
+    def corrupt_slot(self, slot: int, offset: int = 8, flip: int = 0xFF) -> None:
+        """Post-hoc storage damage: flip bits inside an occupied entry.
+
+        The entry's checksum no longer verifies, so a restarting node's
+        :meth:`scan_frontier` stops below it — the damaged-replica case
+        the convergence checker must degrade around.
+        """
+        addr = self.ring.entry_addr(slot)
+        raw = bytearray(self.nvram.peek(addr, self.ring.entry_size))
+        raw[offset] ^= flip
+        self.nvram.poke(addr, bytes(raw))
+
+    # ------------------------------------------------------------------
+    def scan_frontier(self) -> int:
+        """Contiguous cleanly-decodable records from slot 0.
+
+        Read back from NVRAM (not from volatile bookkeeping), so damage
+        injected after the append — a torn landing, post-hoc corruption —
+        is discovered exactly the way a recovering node would discover
+        it.
+        """
+        entry_size = self.ring.entry_size
+        for slot in range(self.ring.num_entries):
+            addr = self.ring.entry_addr(slot)
+            payload = self.nvram.peek(addr, entry_size)
+            record, status = LogRecord.classify(payload)
+            if status.name != "OK" or record is None:
+                return slot
+            if (record.torn & 1) != 1:
+                return slot  # wrong pass parity: not a first-pass record
+        return self.ring.num_entries
+
+    def truncate_to(self, frontier: int) -> None:
+        """Zero every slot at or past ``frontier`` (reconciliation).
+
+        Survivors agree on a common committed frontier before recovering
+        independently; slots past it (records some other survivor never
+        received, or a torn tail) are erased so every node scans the
+        identical window.
+        """
+        entry_size = self.ring.entry_size
+        zeros = bytes(entry_size)
+        for slot in range(frontier, self.appended):
+            self.nvram.poke(self.ring.entry_addr(slot), zeros)
+            self.ring._slot_lines[slot] = None
+            self.ring._slot_kinds[slot] = None
+        self.appended = min(self.appended, frontier)
+        self.torn_tail = False
+        # Rewind the ring cursor too (the replica ring never wraps, so
+        # slot == seq must keep holding): a record re-shipped after the
+        # truncation lands back in its own slot, not wherever the stale
+        # cursor pointed.
+        self.ring.tail = self.appended
+        self.ring.appended = min(self.ring.appended, self.appended)
+
+    # ------------------------------------------------------------------
+    def recover(
+        self,
+        *,
+        reset_log: bool = True,
+        crash_injector=None,
+        verify_checksums: bool = True,
+    ) -> RecoveryReport:
+        """Run the standard single-node recovery over the replica ring."""
+        manager = RecoveryManager(
+            self.nvram, self._cold_ring(), verify_checksums=verify_checksums
+        )
+        return manager.recover(reset_log=reset_log, crash_injector=crash_injector)
+
+    def _cold_ring(self) -> CircularLog:
+        # A freshly powered-on view of the ring: geometry only, no
+        # volatile head/tail state survives the crash.
+        return CircularLog(
+            self.ring.base,
+            self.ring.num_entries,
+            self.ring.entry_size,
+            line_size=self.line_size,
+        )
+
+    def image_bytes(self) -> bytes:
+        """The full NVRAM image (bit-compare material)."""
+        return bytes(self.nvram.image)
+
+    def heap_image(self) -> bytes:
+        """The mirrored primary address space (heap + metadata)."""
+        return bytes(self.nvram.image[: self.primary_size])
+
+    def release(self) -> None:
+        """Return the NVRAM buffer to the pool."""
+        self.nvram.recycle()

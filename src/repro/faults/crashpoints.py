@@ -74,10 +74,22 @@ class FaultMonitor:
     completion and read :attr:`counts` to learn how many events of each
     kind the configuration generates.  With a trigger armed, reaching
     the target occurrence raises immediately.
+
+    ``deadline`` arms a *time-keyed* kill instead: the first retired
+    micro-op whose cycle time reaches the deadline raises
+    :class:`~repro.errors.SimulatedCrash`.  The distributed campaign
+    uses this to kill a node at an instant derived from the shipping
+    timeline (mid-transaction, mid-log-ship) rather than an event index;
+    determinism still holds because cycle times are deterministic.
     """
 
-    def __init__(self, trigger: Optional[CrashPoint] = None) -> None:
+    def __init__(
+        self,
+        trigger: Optional[CrashPoint] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.trigger = trigger
+        self.deadline = deadline
         self.counts = {kind: 0 for kind in EventKind}
         self.fired = False
         self._prev_log_records = 0
@@ -89,6 +101,9 @@ class FaultMonitor:
     # ------------------------------------------------------------------
     def after_op(self, now: float, stats: "MachineStats") -> None:
         """Observe one retired micro-op and any events it generated."""
+        if self.deadline is not None and not self.fired and now >= self.deadline:
+            self.fired = True
+            raise SimulatedCrash("deadline", 0, now)
         self._bump(EventKind.RETIRE, 1, now)
         delta = stats.log_records - self._prev_log_records
         if delta:

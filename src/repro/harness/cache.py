@@ -46,6 +46,7 @@ import hashlib
 import json
 import os
 import sys
+import zlib
 from pathlib import Path
 from typing import Optional
 
@@ -61,7 +62,8 @@ CODE_SALT = "sweep-v2"
 
 #: Bump whenever the recorded column format or recording semantics
 #: change; stale ``.ctrace`` files then fail decoding and are recompiled.
-TRACE_SALT = "ctrace-v1"
+#: (v2: CRC32 trailer appended to the blob.)
+TRACE_SALT = "ctrace-v2"
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_DISABLE = "REPRO_SWEEP_CACHE"
@@ -359,7 +361,7 @@ class TraceCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (OSError, ValueError, KeyError, TypeError, zlib.error) as exc:
             self.corrupt += 1
             self.misses += 1
             print(

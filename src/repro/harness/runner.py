@@ -192,6 +192,7 @@ def run_workload(
         workload.attach(pm)
     else:
         workload.setup(pm)
+    workload.reset_run_state()
 
     generators = []
     for tid in range(run.threads):

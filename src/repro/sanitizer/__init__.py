@@ -29,6 +29,11 @@ from __future__ import annotations
 
 from .checker import PersistOrderChecker, PsanSweepReport, run_psan
 from .lint import LintFinding, lint_paths
+from .replication import (
+    REPLICATION_RULES,
+    ReplicationOrderChecker,
+    check_replication,
+)
 from .rules import PsanDiagnostic, PsanReport, RULES
 
 __all__ = [
@@ -36,8 +41,11 @@ __all__ = [
     "PsanDiagnostic",
     "PsanReport",
     "PsanSweepReport",
+    "REPLICATION_RULES",
     "RULES",
+    "ReplicationOrderChecker",
     "LintFinding",
+    "check_replication",
     "lint_paths",
     "run_psan",
 ]

@@ -106,6 +106,34 @@ RULES: dict[str, Rule] = {
             "stores flushed right after their commit are the one sanctioned "
             "exception).",
         ),
+        Rule(
+            "repl-ack-durable",
+            "batch acked before durable on the replica",
+            "dist",
+            "A replica must not acknowledge a shipped log batch before "
+            "every record in the batch is durable in its own log ring; an "
+            "early ack lets the primary report a cluster commit whose "
+            "records no surviving replica can replay.",
+        ),
+        Rule(
+            "repl-commit-quorum",
+            "cluster commit reported before ack quorum",
+            "dist",
+            "A transaction may be reported cluster-committed only after "
+            "the batch carrying its COMMIT record has been acknowledged "
+            "by the full replica quorum; reporting earlier makes a "
+            "single-replica loss lose an externally visible commit.",
+        ),
+        Rule(
+            "repl-seq-order",
+            "replica appended records out of sequence",
+            "dist",
+            "Each replica must append shipped records in global sequence "
+            "order with no gaps or duplicate applications — reordered or "
+            "re-shipped batches must be buffered/deduplicated — so every "
+            "replica's ring is a prefix of the primary's durable record "
+            "stream and recovery can truncate at a common frontier.",
+        ),
     )
 }
 """All registered psan rules, keyed by rule id."""

@@ -248,16 +248,33 @@ class CompiledTrace:
             "columns_blob_len": len(columns_blob),
         }
         head = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
-        return b"".join(
+        body = b"".join(
             [_MAGIC, len(head).to_bytes(4, "little"), head, image_blob, columns_blob]
         )
+        # CRC32 trailer over everything before it: on-disk cache entries
+        # can rot (torn writes, bit flips), and a flip inside the zlib
+        # streams would otherwise either raise ``zlib.error`` or —
+        # worse — decode to silently wrong replay columns.
+        return body + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
 
     @classmethod
     def from_bytes(cls, payload: bytes, line_size: Optional[int] = None) -> "CompiledTrace":
         """Decode :meth:`to_bytes` output; raises ``ValueError`` on any
-        mismatch (magic, format version, byte order)."""
+        mismatch (magic, checksum, format version, byte order)."""
         if payload[:8] != _MAGIC:
             raise ValueError("not a compiled-trace blob")
+        if len(payload) < 16:
+            raise ValueError("truncated compiled-trace blob")
+        # Verify the CRC32 trailer before trusting a single byte of the
+        # header or the compressed streams.
+        stored = int.from_bytes(payload[-4:], "little")
+        computed = zlib.crc32(payload[:-4]) & 0xFFFFFFFF
+        if stored != computed:
+            raise ValueError(
+                f"compiled-trace checksum mismatch "
+                f"(stored {stored:#010x}, computed {computed:#010x})"
+            )
+        payload = payload[:-4]
         head_len = int.from_bytes(payload[8:12], "little")
         header = json.loads(payload[12:12 + head_len].decode())
         if header.get("format") != TRACE_FORMAT:

@@ -44,6 +44,17 @@ EVENT_KINDS = frozenset(
         "log_push",
         # A timed write reached the NVRAM device (its durability point).
         "nvram_write",
+        # --- Distributed log shipping (repro.dist) -------------------
+        # A batch of durable log records left the primary on one link.
+        "ship",
+        # The batch arrived at the replica end of the link.
+        "repl_deliver",
+        # One shipped record became durable in the replica's log ring.
+        "repl_append",
+        # The replica's acknowledgement for a batch reached the primary.
+        "repl_ack",
+        # A transaction became cluster-committed (ack quorum reached).
+        "dist_commit",
     }
 )
 """All event kinds the simulator may emit (see module docstring)."""

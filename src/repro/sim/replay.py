@@ -238,6 +238,7 @@ def compile_trace(prepared, threads: int, txns_per_thread: int) -> CompiledTrace
         raise WorkloadError(
             f"workload {workload.name!r} is not trace-compilable"
         )
+    workload.reset_run_state()
     memory = _RecordingMemory(prepared.image_prefix)
     columns = []
     for tid in range(threads):

@@ -117,6 +117,19 @@ class Workload(abc.ABC):
         a prepared snapshot (see :func:`repro.harness.runner.prepare_workload`)."""
         self._heap = pm.heap
 
+    def reset_run_state(self) -> None:
+        """Reset volatile per-run state before a (re-)run.
+
+        A prepared workload instance is run many times — once per sweep
+        cell, plus once by the trace compiler.  Anything host-side that
+        thread bodies mutate (append cursors, free-slot rotors) must be
+        re-derivable from ``(seed, tid)`` alone, or the second run sees
+        the first run's leftovers and the ``trace_compilable`` contract
+        (identical stream per run) silently breaks.  Subclasses with such
+        state override this; the harness calls it before every run and
+        before trace recording.
+        """
+
     def identity_key(self) -> tuple:
         """Stable identity of this workload's configuration.
 

@@ -112,6 +112,17 @@ class AppendLog:
         acc.write(addr, payload[: self.entry_size])
         return addr
 
+    def reset(self) -> None:
+        """Rewind every partition's cursor (per-run volatile state).
+
+        The cursors are host-side run state, not persistent structure:
+        without the rewind a second run of the same workload instance
+        appends at different addresses than the first, breaking the
+        deterministic-per-``(seed, tid)`` half of the
+        ``trace_compilable`` contract.
+        """
+        self._cursor = [0] * MAX_PARTITIONS
+
 
 class LRUList:
     """Doubly-linked LRU list over pre-allocated node slots.

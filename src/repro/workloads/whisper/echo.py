@@ -25,6 +25,7 @@ class EchoKernel(Workload):
 
     name = "echo"
     description = "Scalable KV store: queue append + index update (WHISPER echo)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048
@@ -44,6 +45,10 @@ class EchoKernel(Workload):
         for part in range(MAX_PARTITIONS):
             for key in range(1, self.keys_per_partition + 1):
                 self._index.put(acc, part, key, self.make_value(rng, key)[:8])
+
+    def reset_run_state(self) -> None:
+        """Rewind the append-log cursors (volatile per-run state)."""
+        self._queue.reset()
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One queue-append + index-update transaction per iteration."""

@@ -29,6 +29,7 @@ class EximKernel(Workload):
 
     name = "exim"
     description = "Mail server: spool create/append/delete churn (WHISPER exim)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", spool_slots: int = 1024
@@ -48,6 +49,10 @@ class EximKernel(Workload):
         self._stats_base = pm.heap.alloc(MAX_PARTITIONS * 8)
         for part in range(MAX_PARTITIONS):
             self.write_word(acc, self._stats_base + part * 8, 0)
+
+    def reset_run_state(self) -> None:
+        """Rewind the append-log cursors (volatile per-run state)."""
+        self._bodies.reset()
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One accept (multi-chunk) or delivery transaction per iteration."""

@@ -23,6 +23,7 @@ class MemcachedKernel(Workload):
 
     name = "memcached"
     description = "Cache get/set with LRU list splices (WHISPER memcached)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048

@@ -34,6 +34,7 @@ class NFSKernel(Workload):
 
     name = "nfs"
     description = "File server: block writes + inode/dir metadata (WHISPER nfs)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", files_per_partition: int = 512
@@ -65,6 +66,10 @@ class NFSKernel(Workload):
                 addr = self._inode_addr(part, inode)
                 self.write_word(acc, addr + _SIZE, rng.randrange(1 << 20))
                 self.write_word(acc, addr + _MODE, 0o644)
+
+    def reset_run_state(self) -> None:
+        """Rewind the append-log cursors (volatile per-run state)."""
+        self._blocks.reset()
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One file operation (write/metadata/lookup/create) per iteration."""

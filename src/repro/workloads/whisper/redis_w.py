@@ -24,6 +24,7 @@ class RedisKernel(Workload):
 
     name = "redis"
     description = "KV store with append-only-file persistence (WHISPER redis)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048
@@ -45,6 +46,10 @@ class RedisKernel(Workload):
         for part in range(MAX_PARTITIONS):
             for key in range(1, self.keys_per_partition + 1):
                 self._dict.put(acc, part, key, self.make_value(rng, key))
+
+    def reset_run_state(self) -> None:
+        """Rewind the append-log cursors (volatile per-run state)."""
+        self._aof.reset()
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One AOF-append + dictionary update (or read) per iteration."""

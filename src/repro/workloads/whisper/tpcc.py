@@ -30,6 +30,7 @@ class TPCCKernel(Workload):
 
     name = "tpcc"
     description = "TPC-C new-order: multi-record, write-intensive (WHISPER tpcc)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", items_per_partition: int = 4096
@@ -56,6 +57,11 @@ class TPCCKernel(Workload):
                 addr = self._stock_addr(part, item)
                 self.write_word(acc, addr, 100)
                 self.write_word(acc, addr + 8, 0)
+
+    def reset_run_state(self) -> None:
+        """Rewind the append-log cursors (volatile per-run state)."""
+        self._orders.reset()
+        self._lines.reset()
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One new-order transaction (5-15 order lines) per iteration."""

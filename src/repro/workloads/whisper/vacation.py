@@ -27,6 +27,7 @@ class VacationKernel(Workload):
 
     name = "vacation"
     description = "Travel reservations: read-heavy, few writes (WHISPER vacation)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", records_per_table: int = 1024
@@ -53,6 +54,10 @@ class VacationKernel(Workload):
                     addr = self._record_addr(part, table, record)
                     self.write_word(acc, addr, rng.randrange(50, 500))
                     self.write_word(acc, addr + 8, rng.randrange(1, 100))
+
+    def reset_run_state(self) -> None:
+        """Rewind the append-log cursors (volatile per-run state)."""
+        self._reservations.reset()
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One reservation transaction (reads-heavy) per iteration."""

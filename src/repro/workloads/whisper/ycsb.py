@@ -25,6 +25,7 @@ class YCSBKernel(Workload):
 
     name = "ycsb"
     description = "Zipfian 50/50 read/update KV mix (WHISPER ycsb)."
+    trace_compilable = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048

@@ -1,0 +1,40 @@
+"""Shared fixtures: one traced primary run feeds the whole suite.
+
+The dist layer is a pure function of ``(stream, config, faults)``, so a
+single traced hash run (module-scope would re-trace per file;
+session-scope keeps the suite fast) backs every shipping / node /
+recovery test.  Tests must not mutate the stream; replica nodes are
+built fresh per test via :func:`repro.dist.build_replicas`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DESIGNS
+from repro.dist import DistConfig, traced_primary_run
+from repro.faults.campaign import campaign_workload, default_campaign_system
+from repro.harness.runner import prepare_workload
+
+HWL = DESIGNS.resolve("hwl")
+
+THREADS = 2
+TXNS = 16
+
+
+@pytest.fixture(scope="session")
+def traced_hash():
+    """``(prepared, stream, golden)`` for one deterministic hash run."""
+    prepared = prepare_workload(
+        campaign_workload("hash", 5), default_campaign_system()
+    )
+    stream, golden, outcome = traced_primary_run(
+        prepared, HWL, threads=THREADS, txns_per_thread=TXNS
+    )
+    yield prepared, stream, golden
+    outcome.machine.nvram.recycle()
+
+
+@pytest.fixture(scope="session")
+def dist_config():
+    return DistConfig(nodes=3, replicas=2)

@@ -1,0 +1,254 @@
+"""Shipping-timeline mechanics: batching, windows, faults, truncation.
+
+The timeline is the load-bearing abstraction of the dist layer: every
+campaign point is "recompute the timeline with different inputs", so its
+determinism and its fault semantics get direct coverage here.  The
+flagship invariant — a primary crash at cycle T is exactly a truncation
+of the durable record stream at T — is cross-checked against a *really*
+crashed run (deadline fault monitor) at the bottom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist import DistConfig, LinkFault, ShipTimeline
+from repro.dist.ship import LogStreamCollector
+from repro.errors import SimulatedCrash
+from repro.faults.crashpoints import FaultMonitor
+from repro.harness.runner import RunConfig, run_workload
+from repro.sim.trace import Tracer
+
+from .conftest import HWL, THREADS, TXNS
+
+
+# ----------------------------------------------------------------------
+# Stream shape
+# ----------------------------------------------------------------------
+def test_stream_seqs_follow_durability_order(traced_hash):
+    _prepared, stream, _golden = traced_hash
+    assert stream.records, "traced run produced no durable records"
+    durables = [rec.durable for rec in stream.records]
+    assert durables == sorted(durables)
+    assert [rec.seq for rec in stream.records] == list(range(len(durables)))
+
+
+def test_commit_map_pairs_every_reported_commit(traced_hash):
+    _prepared, stream, golden = traced_hash
+    mapping = stream.commit_map()
+    assert len(mapping) == THREADS * TXNS == len(golden.commits)
+    golden_indexes = sorted(entry[2] for entry in mapping.values())
+    assert golden_indexes == list(range(len(golden.commits)))
+    for (tid, _ordinal), (seq, _txid, _gi, _reported) in mapping.items():
+        rec = stream.records[seq]
+        assert rec.kind == "COMMIT" and rec.tid == tid
+
+
+def test_same_tid_records_stay_ordered_under_truncation(traced_hash):
+    """Per-thread record order survives durability sorting (FIFO drains),
+    so seq-truncation can never strand an uncommitted transaction behind
+    a later same-tid record."""
+    _prepared, stream, _golden = traced_hash
+    per_tid_place = {}
+    for rec in stream.records:
+        times = per_tid_place.setdefault(rec.tid, [])
+        assert not times or rec.place_time >= times[-1]
+        times.append(rec.place_time)
+
+
+# ----------------------------------------------------------------------
+# Batching and window gating
+# ----------------------------------------------------------------------
+def test_batches_cut_at_size_or_commit(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    timeline = ShipTimeline(stream, dist_config)
+    seqs = [rec.seq for batch in timeline.batches for rec in batch.records]
+    assert seqs == list(range(len(stream.records)))
+    for batch in timeline.batches[:-1]:
+        assert (
+            batch.count == dist_config.batch_records
+            or batch.records[-1].kind == "COMMIT"
+        )
+        assert batch.ready == max(rec.durable for rec in batch.records)
+
+
+def test_window_bounds_in_flight_batches(traced_hash):
+    _prepared, stream, _golden = traced_hash
+    config = DistConfig(nodes=3, replicas=2, window_batches=2)
+    timeline = ShipTimeline(stream, config)
+    events = [e for e in timeline.events if e.kind in ("ship", "repl_ack")]
+    in_flight = {r: 0 for r in config.replica_ids}
+    for event in events:
+        replica = event.detail["replica"]
+        if event.kind == "ship" and not event.detail["lost"]:
+            in_flight[replica] += 1
+            assert in_flight[replica] <= config.window_batches
+        elif event.kind == "repl_ack":
+            in_flight[replica] -= 1
+
+
+def test_timeline_is_deterministic(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    one = ShipTimeline(stream, dist_config)
+    two = ShipTimeline(stream, dist_config)
+    assert [(e.time, e.kind, e.detail) for e in one.events] == [
+        (e.time, e.kind, e.detail) for e in two.events
+    ]
+    assert one.cluster_committed == two.cluster_committed
+
+
+# ----------------------------------------------------------------------
+# Primary crash truncation
+# ----------------------------------------------------------------------
+def test_primary_crash_truncates_shipping(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    mid = stream.records[len(stream.records) // 2].durable
+    timeline = ShipTimeline(stream, dist_config, primary_crash=mid)
+    full = ShipTimeline(stream, dist_config)
+    for replica in dist_config.replica_ids:
+        assert timeline.frontier(replica) <= full.frontier(replica)
+        shipped = {seq for seq, _t in timeline.links[replica].appends}
+        for seq in shipped:
+            assert stream.records[seq].durable <= mid
+    assert set(timeline.cluster_committed) <= set(full.cluster_committed)
+
+
+def test_after_quorum_crash_commits_everything(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    full = ShipTimeline(stream, dist_config)
+    last_ack = max(
+        ack[1] for link in full.links.values() for ack in link.acks.values()
+    )
+    late = ShipTimeline(stream, dist_config, primary_crash=last_ack + 1.0)
+    assert len(late.cluster_committed) == len(stream.commit_map())
+
+
+# ----------------------------------------------------------------------
+# Link faults
+# ----------------------------------------------------------------------
+def test_drop_retransmits_after_timeout(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    fault = LinkFault("drop", 1, 1)
+    timeline = ShipTimeline(stream, dist_config, faults=(fault,))
+    ships = [
+        e for e in timeline.events
+        if e.kind == "ship" and e.detail["replica"] == 1 and e.detail["batch"] == 1
+    ]
+    assert [s.detail["lost"] for s in ships] == [True, False]
+    assert ships[1].time == pytest.approx(
+        ships[0].time + dist_config.link.retransmit_timeout
+    )
+    # The replica still ends complete: retransmission fills the gap.
+    full = ShipTimeline(stream, dist_config)
+    assert timeline.frontier(1) == full.frontier(1)
+
+
+def test_dup_delivery_is_reacked_not_reapplied(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    fault = LinkFault("dup", 1, 2)
+    timeline = ShipTimeline(stream, dist_config, faults=(fault,))
+    delivers = [
+        e for e in timeline.events
+        if e.kind == "repl_deliver" and e.detail["replica"] == 1
+        and e.detail["batch"] == 2
+    ]
+    assert [d.detail["duplicate"] for d in delivers] == [False, True]
+    appends = [
+        e.detail["seq"] for e in timeline.events
+        if e.kind == "repl_append" and e.detail["replica"] == 1
+    ]
+    assert len(appends) == len(set(appends)), "duplicate batch re-applied"
+
+
+def test_delayed_batch_blocks_successor_appends(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    delay = 3.0 * dist_config.link.latency
+    fault = LinkFault("delay", 1, 1, delay=delay)
+    timeline = ShipTimeline(stream, dist_config, faults=(fault,))
+    appends = [
+        (e.detail["seq"], e.time) for e in timeline.events
+        if e.kind == "repl_append" and e.detail["replica"] == 1
+    ]
+    seqs = [seq for seq, _t in appends]
+    times = [t for _seq, t in appends]
+    assert seqs == sorted(seqs), "reordered arrival broke append order"
+    assert times == sorted(times)
+
+
+def test_torn_batch_kills_the_link_without_ack(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    baseline = ShipTimeline(stream, dist_config)
+    # A mid-stream batch with at least two records, so keep_records=1
+    # genuinely tears inside the batch.
+    target = next(
+        b.index for b in baseline.batches if b.index >= 1 and b.count >= 2
+    )
+    fault = LinkFault("torn", 1, target, keep_records=1, keep_bytes=20)
+    timeline = ShipTimeline(stream, dist_config, faults=(fault,))
+    link = timeline.links[1]
+    assert link.torn is not None
+    assert link.dead_after is not None
+    assert target not in link.acks, "torn batch must never be acked"
+    assert max(link.acks) == target - 1, "link stayed alive past the tear"
+    # The tear lands at the batch's keep_records offset.
+    torn_seq, keep_bytes, _when = link.torn
+    boundary = timeline.batches[target].start + 1
+    assert torn_seq == boundary
+    assert keep_bytes == 20
+    # Commits carried by the torn or later batches lose their quorum.
+    committed_seqs = {
+        stream.commit_map()[key][0] for key in timeline.cluster_committed
+    }
+    assert committed_seqs, "no commit survived before the tear"
+    assert all(seq < boundary for seq in committed_seqs)
+
+
+def test_replica_crash_freezes_its_frontier(traced_hash, dist_config):
+    _prepared, stream, _golden = traced_hash
+    mid = stream.records[len(stream.records) // 2].durable
+    timeline = ShipTimeline(stream, dist_config, replica_crashes={1: mid})
+    full = ShipTimeline(stream, dist_config)
+    assert timeline.frontier(1) < full.frontier(1)
+    assert timeline.frontier(2) == full.frontier(2)
+    for _seq, durable in timeline.links[1].appends:
+        assert durable <= mid
+
+
+# ----------------------------------------------------------------------
+# The flagship assumption: truncation == a really crashed primary
+# ----------------------------------------------------------------------
+def _record_key(rec):
+    return (rec.kind, rec.tid, rec.addr, rec.undo, rec.redo, rec.durable)
+
+
+def test_stream_truncation_matches_really_crashed_run(traced_hash):
+    """Re-run the same primary with a deadline crash at T; its durable
+    records must be exactly ``stream.truncated(T)`` from the full run."""
+    prepared, stream, _golden = traced_hash
+    deadline = stream.records[(2 * len(stream.records)) // 3].durable + 0.25
+    holder = {}
+
+    def hook(machine):
+        machine.tracer = Tracer(capacity=64)
+        holder["collector"] = LogStreamCollector(machine)
+        machine.fault_monitor = FaultMonitor(deadline=deadline)
+
+    with pytest.raises(SimulatedCrash) as crash_info:
+        run_workload(
+            prepared.workload,
+            RunConfig(
+                policy=HWL,
+                threads=THREADS,
+                txns_per_thread=TXNS,
+                system=prepared.system,
+            ),
+            prepared=prepared,
+            machine_hook=hook,
+        )
+    assert crash_info.value.kind == "deadline"
+    crashed = holder["collector"].finish()
+    expected = stream.truncated(deadline)
+    actual = crashed.truncated(deadline)
+    assert [_record_key(rec) for rec in actual] == [
+        _record_key(rec) for rec in expected
+    ]

@@ -77,6 +77,70 @@ def test_trace_cache_disk_roundtrip_and_corruption(tmp_path, monkeypatch):
     assert broken.corrupt == 1
 
 
+def test_blob_checksum_catches_bit_flips_and_truncation(tmp_path):
+    """The CRC32 trailer on `CTRC0001` blobs: a single flipped byte or a
+    truncated file must fail decode loudly (ValueError) instead of
+    yielding a silently-wrong trace or a deep zlib crash."""
+    from repro.harness.runner import prepare_workload
+    from repro.sim.ctrace import CompiledTrace
+    from repro.sim.replay import compile_trace
+    from repro.workloads.hashtable import HashTableWorkload
+    from tests.conftest import tiny_system
+
+    prepared = prepare_workload(
+        HashTableWorkload(seed=4, buckets_per_partition=8, keys_per_partition=32),
+        tiny_system(),
+    )
+    trace = compile_trace(prepared, 1, 4)
+    blob = trace.to_bytes()
+    # Round trip is intact.
+    assert CompiledTrace.from_bytes(blob).op_count() == trace.op_count()
+    # Flip one byte mid-blob: checksum mismatch.
+    flipped = bytearray(blob)
+    flipped[len(flipped) // 2] ^= 0x40
+    with pytest.raises(ValueError, match="checksum mismatch"):
+        CompiledTrace.from_bytes(bytes(flipped))
+    # Drop the tail: truncation is caught before any parsing.
+    with pytest.raises(ValueError):
+        CompiledTrace.from_bytes(blob[: len(blob) // 2])
+    with pytest.raises(ValueError, match="truncated"):
+        CompiledTrace.from_bytes(blob[:10])
+
+
+def test_corrupt_disk_entry_warns_and_recompiles(tmp_path, monkeypatch, capsys):
+    """A bit-flipped on-disk entry is a counted miss with a stderr
+    warning — the sweep recompiles instead of crashing or replaying a
+    wrong trace."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.harness.runner import prepare_workload
+    from repro.sim.replay import compile_trace
+    from repro.workloads.hashtable import HashTableWorkload
+    from tests.conftest import tiny_system
+
+    prepared = prepare_workload(
+        HashTableWorkload(seed=5, buckets_per_partition=8, keys_per_partition=32),
+        tiny_system(),
+    )
+    trace = compile_trace(prepared, 1, 4)
+    cache = TraceCache(tmp_path)
+    key = cache.key(prepared.system, prepared.workload, 1, 4)
+    cache.put(key, trace)
+    path = cache._path(key)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    path.write_bytes(bytes(raw))
+    broken = TraceCache(tmp_path)  # fresh memo: must hit the disk
+    assert broken.get(key) is None
+    assert broken.corrupt == 1 and broken.misses == 1
+    err = capsys.readouterr().err
+    assert "corrupt trace-cache entry" in err and "recompiling" in err
+    assert "corrupt entr(ies) recompiled" in broken.summary()
+    # Recompile-and-put heals the entry for the next reader.
+    broken.put(key, trace)
+    healed = TraceCache(tmp_path)
+    assert healed.get(key) is not None
+
+
 def test_trace_key_ignores_design(tmp_path):
     from repro.harness.runner import prepare_workload
     from repro.workloads.hashtable import HashTableWorkload

@@ -381,6 +381,111 @@ class TestUnloggedMutation:
 
 
 # ----------------------------------------------------------------------
+# Replication-ordering rules (the distributed analogue, repro.dist)
+# ----------------------------------------------------------------------
+class ReplTrace:
+    """Synthetic shipping-timeline event stream for the dist checker."""
+
+    def __init__(self, replicas=(1, 2)):
+        self.events = [
+            TraceEvent(0.0, "meta", -1, {"dist": True, "replicas": list(replicas)})
+        ]
+
+    def add(self, time, kind, **detail):
+        self.events.append(TraceEvent(time, kind, -1, detail))
+        return self
+
+    def check(self):
+        from repro.sanitizer.replication import ReplicationOrderChecker
+
+        checker = ReplicationOrderChecker()
+        checker.consume(self.events)
+        return checker.finish()
+
+
+class TestReplAckDurable:
+    def _base(self):
+        t = ReplTrace(replicas=(1,))
+        t.add(10.0, "ship", replica=1, batch=0, start_seq=0, n=2)
+        t.add(20.0, "repl_append", replica=1, seq=0)
+        t.add(30.0, "repl_append", replica=1, seq=1)
+        return t
+
+    def test_ack_after_durable_is_clean(self):
+        t = self._base()
+        t.add(40.0, "repl_ack", replica=1, batch=0, sent=35.0, start_seq=0, n=2)
+        assert t.check().clean
+
+    def test_ack_before_durable_fires(self):
+        t = self._base()
+        # Sent at 25: record seq 1 only became durable at 30.
+        t.add(30.5, "repl_ack", replica=1, batch=0, sent=25.0, start_seq=0, n=2)
+        report = t.check()
+        assert report.by_rule().get("repl-ack-durable") == 1
+
+    def test_torn_record_must_never_be_acked(self):
+        t = ReplTrace(replicas=(1,))
+        t.add(10.0, "ship", replica=1, batch=0, start_seq=0, n=1)
+        t.add(20.0, "repl_append", replica=1, seq=0, torn=True)
+        t.add(40.0, "repl_ack", replica=1, batch=0, sent=35.0, start_seq=0, n=1)
+        report = t.check()
+        assert "repl-ack-durable" in report.rules_fired()
+
+
+class TestReplCommitQuorum:
+    def _acked(self, t, replica, when):
+        t.add(10.0, "ship", replica=replica, batch=0, start_seq=0, n=1)
+        t.add(when - 20.0, "repl_append", replica=replica, seq=0)
+        t.add(when, "repl_ack", replica=replica, batch=0, sent=when - 10.0,
+              start_seq=0, n=1)
+
+    def test_commit_after_full_quorum_is_clean(self):
+        t = ReplTrace(replicas=(1, 2))
+        self._acked(t, 1, 50.0)
+        self._acked(t, 2, 60.0)
+        t.add(60.0, "dist_commit", batch=0, tid=0, ordinal=0, txid=7, seq=0)
+        assert t.check().clean
+
+    def test_commit_before_last_ack_fires(self):
+        t = ReplTrace(replicas=(1, 2))
+        self._acked(t, 1, 50.0)
+        self._acked(t, 2, 60.0)
+        t.add(55.0, "dist_commit", batch=0, tid=0, ordinal=0, txid=7, seq=0)
+        report = t.check()
+        assert report.by_rule().get("repl-commit-quorum") == 1
+
+    def test_commit_with_a_missing_replica_fires(self):
+        t = ReplTrace(replicas=(1, 2))
+        self._acked(t, 1, 50.0)
+        t.add(50.0, "dist_commit", batch=0, tid=0, ordinal=0, txid=7, seq=0)
+        report = t.check()
+        assert "repl-commit-quorum" in report.rules_fired()
+
+
+class TestReplSeqOrder:
+    def test_in_order_appends_are_clean(self):
+        t = ReplTrace(replicas=(1,))
+        for seq in range(3):
+            t.add(10.0 * (seq + 1), "repl_append", replica=1, seq=seq)
+        assert t.check().clean
+
+    def test_gap_fires(self):
+        t = ReplTrace(replicas=(1,))
+        t.add(10.0, "repl_append", replica=1, seq=0)
+        t.add(20.0, "repl_append", replica=1, seq=2)
+        report = t.check()
+        assert report.by_rule().get("repl-seq-order") == 1
+
+    def test_duplicate_application_fires(self):
+        t = ReplTrace(replicas=(1,))
+        t.add(10.0, "repl_append", replica=1, seq=0)
+        t.add(20.0, "repl_append", replica=1, seq=1)
+        t.add(30.0, "repl_append", replica=1, seq=0)
+        report = t.check()
+        assert "repl-seq-order" in report.rules_fired()
+
+
+# ----------------------------------------------------------------------
 # Cross-cutting
 # ----------------------------------------------------------------------
 class TestCheckerPlumbing:
@@ -398,6 +503,7 @@ class TestCheckerPlumbing:
             "steal-order", "undo-missing", "redo-missing", "commit-order",
             "commit-durability", "wrap-overwrite", "torn-parity",
             "fifo-order", "unlogged-mutation",
+            "repl-ack-durable", "repl-commit-quorum", "repl-seq-order",
         }
         assert exercised == set(RULES)
 

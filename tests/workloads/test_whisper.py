@@ -53,6 +53,84 @@ class TestAllKernelsRun:
         assert stats.log_records > 0  # every kernel persists something
 
 
+SMALL_KW = {
+    "ctree": dict(keys_per_partition=64),
+    "hashmap": dict(keys_per_partition=64),
+    "echo": dict(keys_per_partition=64),
+    "exim": dict(spool_slots=64),
+    "memcached": dict(keys_per_partition=64),
+    "nfs": dict(files_per_partition=64),
+    "redis": dict(keys_per_partition=64),
+    "tpcc": dict(items_per_partition=64),
+    "vacation": dict(records_per_table=64),
+    "ycsb": dict(keys_per_partition=64),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WHISPER_KERNELS), ids=str)
+class TestTraceCompilableContract:
+    """Every WHISPER kernel honours the trace-compilable audit.
+
+    The contract behind the flag: partitioned by ``tid % MAX_PARTITIONS``,
+    deterministic per ``(seed, tid)``, accessor-only persistent state, and
+    volatile run state reset by :meth:`Workload.reset_run_state` — so a
+    prepared instance replays identically and the compiled trace is
+    bit-equivalent to interpretation.
+    """
+
+    def _prepared(self, name):
+        from repro.harness.runner import prepare_workload
+        from tests.conftest import tiny_system
+
+        kernel = make_whisper_kernel(name, seed=2, **SMALL_KW[name])
+        return prepare_workload(kernel, tiny_system())
+
+    def test_flagged_compilable(self, name):
+        assert make_whisper_kernel(name, **SMALL_KW[name]).trace_compilable
+
+    def test_rerun_is_deterministic(self, name):
+        """Two interpreted runs of the same prepared instance must agree
+        — this is exactly what stale AppendLog cursors used to break."""
+        import dataclasses
+
+        from repro.core.design import DESIGNS
+        from repro.harness.runner import RunConfig, run_workload
+
+        prepared = self._prepared(name)
+        config = RunConfig(
+            policy=DESIGNS.resolve("hwl"),
+            threads=2,
+            txns_per_thread=8,
+            system=prepared.system,
+        )
+        first = run_workload(prepared.workload, config, prepared=prepared)
+        second = run_workload(prepared.workload, config, prepared=prepared)
+        assert dataclasses.asdict(first.stats) == dataclasses.asdict(
+            second.stats
+        )
+
+    def test_compiled_replay_matches_interpretation(self, name):
+        import dataclasses
+
+        from repro.core.design import DESIGNS
+        from repro.harness.runner import RunConfig, run_workload
+        from repro.sim.replay import compile_trace, run_compiled
+
+        prepared = self._prepared(name)
+        trace = compile_trace(prepared, 2, 8)
+        config = RunConfig(
+            policy=DESIGNS.resolve("hwl"),
+            threads=2,
+            txns_per_thread=8,
+            system=prepared.system,
+        )
+        interpreted = run_workload(prepared.workload, config, prepared=prepared)
+        replayed = run_compiled(trace, config)
+        assert dataclasses.asdict(interpreted.stats) == dataclasses.asdict(
+            replayed.stats
+        )
+
+
 class TestProbingTable:
     @pytest.fixture
     def table_env(self):
