@@ -40,8 +40,16 @@ Commands
     policy matrix (plus adversarial broken-policy probes); exit non-zero
     on any violation in a guaranteed design — or if the probes fail to
     trip.
+``pstatic``
+    Run the static persistency verifier: prove or refute every psan rule
+    symbolically from the compiled trace IR (one column walk, no
+    replay), with a happens-before race detector riding along;
+    ``--differential`` gates each verdict against the dynamic checker
+    and replay-confirms every counterexample.
 ``lint``
-    Run the determinism/accounting AST lint over the source tree.
+    Run the pluggable determinism/accounting AST lint over the source
+    tree; ``--strict`` additionally fails on stale ``lint: allow``
+    suppressions.
 ``bench``
     Performance-regression benchmark suites: ``bench run`` measures the
     registered suites (deterministic cost counters + min-of-N
@@ -52,7 +60,8 @@ Commands
 ``cache``
     Sweep result-cache maintenance: ``cache prune`` deletes
     ``.repro_cache`` entries whose ``CODE_SALT`` predates the current
-    one (``--dry-run`` counts without deleting).
+    one (``--dry-run`` counts without deleting); ``cache stats`` reports
+    entry counts and CRC32-verifies every compiled-trace blob.
 """
 
 from __future__ import annotations
@@ -85,6 +94,13 @@ def _sweep_cache(args):
 def _report_cache(cache) -> None:
     if cache is not None and (cache.hits or cache.misses):
         print(cache.summary())
+    from .harness.cache import peek_trace_cache
+
+    trace_cache = peek_trace_cache()
+    if trace_cache is not None and (
+        trace_cache.hits or trace_cache.misses or trace_cache.corrupt
+    ):
+        print(trace_cache.summary())
 
 
 def _report_health(health) -> None:
@@ -474,23 +490,105 @@ def _cmd_lint(args) -> int:
     import json
     import os
 
-    from .sanitizer.lint import lint_paths
+    from .sanitizer.lint import STALE_SUPPRESSION, lint_paths
 
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     findings = lint_paths(paths)
+    real = [f for f in findings if f.rule != STALE_SUPPRESSION]
+    stale = [f for f in findings if f.rule == STALE_SUPPRESSION]
     if args.json:
-        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "real": len(real),
+                    "stale_suppressions": len(stale),
+                    "strict": args.strict,
+                },
+                indent=2,
+            )
+        )
     else:
         for finding in findings:
             print(finding.render())
         print(f"lint: {len(findings)} finding(s)" if findings else "lint: clean")
-    return 1 if findings else 0
+        if stale and not args.strict:
+            print(
+                f"lint: {len(stale)} stale suppression(s) — informational "
+                "(fatal under --strict)"
+            )
+    # Stale suppressions are advisory by default; --strict makes every
+    # finding (including them) fatal.
+    if real:
+        return 1
+    return 1 if (args.strict and findings) else 0
+
+
+def _cmd_pstatic(args) -> int:
+    import json
+
+    from .sanitizer.static import StaticSweepReport, run_differential, run_pstatic
+
+    benchmarks = args.benchmarks.split(",")
+    threads_list = [int(t) for t in args.threads.split(",")]
+    policies = [DESIGNS.resolve(name) for name in args.policies.split(",")]
+    hb = not args.no_hb
+
+    if args.differential:
+        report = run_differential(
+            benchmarks,
+            threads_list,
+            policies,
+            txns_per_thread=args.txns,
+            seed=args.seed,
+            hb=hb,
+            progress=print if args.verbose else None,
+        )
+        if args.markdown:
+            with open(args.markdown, "w", encoding="utf-8") as fh:
+                fh.write(report.render_markdown() + "\n")
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.passed else 1
+
+    sweep = StaticSweepReport()
+    for benchmark in benchmarks:
+        prepared = prepare_workload(make_microbenchmark(benchmark, seed=args.seed))
+        for threads in threads_list:
+            for policy in policies:
+                sweep.reports.append(
+                    run_pstatic(
+                        benchmark,
+                        policy,
+                        threads=threads,
+                        txns_per_thread=args.txns,
+                        prepared=prepared,
+                        seed=args.seed,
+                        hb=hb,
+                    )
+                )
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(sweep.render_markdown() + "\n")
+    if args.json:
+        print(json.dumps(sweep.to_dict(), indent=2))
+    else:
+        print(sweep.render())
+        for report in sweep.reports:
+            if not report.clean or (report.races is not None and not report.races.clean):
+                print(report.render(proofs=args.proofs))
+            elif args.proofs:
+                print(report.render(proofs=True))
+        print("pstatic: PASS" if sweep.clean else "pstatic: FAIL")
+    return 0 if sweep.clean else 1
 
 
 def _cmd_cache(args) -> int:
     from pathlib import Path
 
-    from .harness.cache import default_cache_dir
+    from .harness.cache import TraceCache, default_cache_dir, peek_trace_cache
 
     directory = Path(args.dir) if args.dir else default_cache_dir()
     cache = SweepCache(directory)
@@ -503,6 +601,32 @@ def _cmd_cache(args) -> int:
             f"{verb} {counts['stale'] if args.dry_run else counts['removed']}, "
             f"{counts['kept']} kept ({directory})"
         )
+        trace_counts = TraceCache(directory).prune(dry_run=args.dry_run)
+        print(
+            f"trace prune: {trace_counts['scanned']} entr(ies) scanned, "
+            f"{trace_counts['stale']} stale (undecodable format), "
+            f"{verb} "
+            f"{trace_counts['stale'] if args.dry_run else trace_counts['removed']}, "
+            f"{trace_counts['kept']} kept ({directory})"
+        )
+        return 0
+    if args.cache_command == "stats":
+        sweep_counts = cache.prune(dry_run=True)
+        print(
+            f"sweep cache: {sweep_counts['scanned']} entr(ies), "
+            f"{sweep_counts['kept']} current, {sweep_counts['stale']} stale "
+            f"({directory})"
+        )
+        trace_counts = TraceCache(directory).verify_disk()
+        print(
+            f"trace cache: {trace_counts['scanned']} entr(ies), "
+            f"{trace_counts['ok']} CRC-verified, "
+            f"{trace_counts['stale']} stale (prunable), "
+            f"{trace_counts['bytes'] / 1024:.1f} KiB ({directory})"
+        )
+        live = peek_trace_cache()
+        if live is not None and (live.hits or live.misses or live.corrupt):
+            print(f"this process: {live.summary()}")
         return 0
     return 2  # pragma: no cover - argparse restricts choices
 
@@ -755,6 +879,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="sanitize a saved JSONL trace instead of running anything",
     )
     psan.set_defaults(fn=_cmd_psan)
+    pstatic = sub.add_parser(
+        "pstatic",
+        help="static persistency verifier: psan verdicts proven from the "
+        "compiled trace, without replaying",
+    )
+    pstatic.add_argument(
+        "--benchmarks",
+        default="hash,rbtree,sps,btree,ssca2",
+        help="comma-separated microbenchmarks (default: all five)",
+    )
+    pstatic.add_argument(
+        "--threads",
+        default="1,2,4",
+        help="comma-separated thread counts (default: 1,2,4)",
+    )
+    pstatic.add_argument(
+        "--policies",
+        default="non-pers,unsafe-base,redo-clwb,undo-clwb,hw-rlog,hw-ulog,hwl,fwb",
+        help="comma-separated designs to verify (default: all eight canonical)",
+    )
+    pstatic.add_argument("--txns", type=int, default=40)
+    pstatic.add_argument("--seed", type=int, default=42)
+    pstatic.add_argument(
+        "--differential",
+        action="store_true",
+        help="gate every static verdict against the dynamic checker and "
+        "replay-confirm every counterexample (the CI acceptance mode)",
+    )
+    pstatic.add_argument(
+        "--proofs",
+        action="store_true",
+        help="print the per-rule proof reasons, not just violations",
+    )
+    pstatic.add_argument(
+        "--no-hb",
+        action="store_true",
+        help="skip the happens-before race detector pass",
+    )
+    pstatic.add_argument(
+        "--markdown",
+        metavar="FILE",
+        default=None,
+        help="also write the verdict table as a markdown artifact",
+    )
+    pstatic.add_argument(
+        "--verbose", action="store_true", help="print one line per cell"
+    )
+    pstatic.add_argument("--json", action="store_true", help="machine-readable report")
+    pstatic.set_defaults(fn=_cmd_pstatic)
     lint = sub.add_parser(
         "lint", help="determinism/accounting AST lint over the source tree"
     )
@@ -764,6 +937,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: the repro package)",
     )
     lint.add_argument("--json", action="store_true", help="machine-readable report")
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale lint:allow suppressions (the CI mode)",
+    )
     lint.set_defaults(fn=_cmd_lint)
     validate_cmd = sub.add_parser("validate")
     validate_cmd.add_argument("--quick", action="store_true")
@@ -790,6 +968,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
     prune.set_defaults(fn=_cmd_cache)
+    stats = cache_action.add_parser(
+        "stats",
+        help="entry counts plus CRC32 verification of compiled-trace blobs",
+    )
+    stats.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    stats.set_defaults(fn=_cmd_cache)
     return parser
 
 

@@ -27,6 +27,13 @@ Each suite exercises one performance-critical path of the system:
     stream into a column trace (paid once per (workload, threads)), and
     replaying that trace across all eight canonical designs (paid per
     sweep cell — the phase the engine optimises).
+``pstatic-matrix``
+    The static persistency verifier against the dynamic checker over
+    the same canonical-design matrix: one symbolic column walk per
+    design versus one full via-API replay per design.  The gate counter
+    is ``bytes_ratio`` — bytes the dynamic engine must touch (NVRAM
+    image restore + simulated I/O) over bytes the static engine walks
+    (the column arrays) — required to stay >= 10.
 
 Every suite returns counters that are pure functions of configuration —
 simulated cycles, instructions, cache/NVRAM accesses — never wall time,
@@ -323,6 +330,72 @@ def compile_replay(quick: bool, timer: BenchTimer) -> dict:
             counters["log_records"] += stats.log_records
             counters["clwb_count"] += stats.clwb_count
             counters["fwb_writebacks"] += stats.fwb_writebacks
+    return counters
+
+
+@register("pstatic-matrix", "static verifier vs dynamic psan over the canonical designs")
+def pstatic_matrix(quick: bool, timer: BenchTimer) -> dict:
+    from ..harness.runner import RunConfig, prepare_workload
+    from ..sanitizer.checker import PersistOrderChecker
+    from ..sanitizer.static import verify_trace
+    from ..sim.replay import compile_trace, run_compiled
+    from ..workloads import make_microbenchmark
+
+    # The production configuration, not the tiny fixture: the verifier's
+    # economics hinge on the footprint >> trace regime (the replay must
+    # restore a multi-MB NVRAM image per design; the walk never does).
+    prepared = prepare_workload(make_microbenchmark("hash", seed=11))
+    threads, txns = 2, (20 if quick else 40)
+    trace = compile_trace(prepared, threads, txns)  # decode once (setup, untimed)
+    column_bytes = sum(
+        len(blob) for col in trace.thread_cols for blob in col.column_blobs()
+    )
+    counters = {
+        "designs": len(CANONICAL_DESIGNS),
+        "agreements": 0,
+        "static_entries": 0,
+        "static_bytes": 0,
+        "dynamic_events": 0,
+        "dynamic_bytes": 0,
+    }
+    with timer.timed():
+        for spec in CANONICAL_DESIGNS:
+            static = verify_trace(trace, spec, system=prepared.system, hb=False)
+            counters["static_entries"] += static.cost()
+            counters["static_bytes"] += column_bytes
+
+            holder: dict = {}
+
+            def hook(machine) -> None:
+                holder["checker"] = PersistOrderChecker.attach(machine)
+
+            outcome = run_compiled(
+                trace,
+                RunConfig(
+                    policy=spec,
+                    threads=threads,
+                    txns_per_thread=txns,
+                    system=prepared.system,
+                    seed=11,
+                ),
+                machine_hook=hook,
+            )
+            report = holder["checker"].finish()
+            stats = outcome.stats
+            counters["dynamic_events"] += report.events_processed
+            counters["dynamic_bytes"] += (
+                len(trace.image_prefix)
+                + stats.nvram_read_bytes
+                + stats.nvram_write_bytes
+                + stats.log_bytes
+            )
+            counters["agreements"] += int(
+                static.rules_fired() == report.rules_fired()
+            )
+            outcome.machine.nvram.recycle()
+    counters["bytes_ratio"] = counters["dynamic_bytes"] // max(
+        1, counters["static_bytes"]
+    )
     return counters
 
 

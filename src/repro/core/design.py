@@ -204,6 +204,34 @@ class DesignSpec:
         """True when overwriting a log entry forces its data line durable."""
         return self.persistence_guaranteed
 
+    #: The derived predicates, in a stable order.  This is the complete
+    #: behavioural surface a symbolic consumer may depend on: anything a
+    #: simulator component branches on is (by construction) one of these.
+    PREDICATES = (
+        "uses_hw_logging",
+        "uses_sw_logging",
+        "logs_undo",
+        "logs_redo",
+        "uses_clwb_at_commit",
+        "uses_fwb",
+        "defers_in_place_stores",
+        "persistence_guaranteed",
+        "protects_log_wrap",
+    )
+
+    def predicate_table(self) -> dict:
+        """Every derived predicate as a flat ``name -> bool`` mapping.
+
+        The static verifier (:mod:`repro.sanitizer.static`) interprets a
+        design symbolically: it never instantiates a machine, only reads
+        this table (plus :attr:`commit`) to decide which persist-state
+        transitions the mechanisms perform.  Exposing the predicates as
+        data also lets reports show *why* a verdict holds.
+        """
+        table = {name: getattr(self, name) for name in self.PREDICATES}
+        table["fenced_commit"] = self.commit is CommitProtocol.FENCED
+        return table
+
     # ------------------------------------------------------------------
     # Identity for caching
     # ------------------------------------------------------------------

@@ -402,6 +402,69 @@ class TraceCache:
             line += f", {self.corrupt} corrupt entr(ies) recompiled"
         return f"{line} ({self.directory})"
 
+    def verify_disk(self) -> dict:
+        """CRC-verify every on-disk entry (``repro cache stats``).
+
+        Fully decodes each ``.ctrace`` blob — which checks the CRC32
+        trailer and the column codec — without touching the memo or the
+        hit/miss counters.  Undecodable files are counted as ``stale``,
+        not as an error: the salt folds into the cache *key*, so a file
+        that fails to decode is either unreachable dead weight from an
+        older trace format (the common case after a codec change) or a
+        live-key blob that the next ``get`` will transparently recompile
+        and overwrite.  Either way nothing is lost — ``prune`` deletes
+        them.  Returns ``{scanned, ok, stale, bytes}``.
+        """
+        counts = {"scanned": 0, "ok": 0, "stale": 0, "bytes": 0}
+        if self.directory.is_dir():
+            from ..sim.ctrace import CompiledTrace
+
+            for path in sorted(self.directory.glob("*.ctrace")):
+                counts["scanned"] += 1
+                try:
+                    blob = path.read_bytes()
+                    counts["bytes"] += len(blob)
+                    CompiledTrace.from_bytes(blob)
+                except (OSError, ValueError, KeyError, TypeError, zlib.error):
+                    counts["stale"] += 1
+                else:
+                    counts["ok"] += 1
+        return counts
+
+    def prune(self, dry_run: bool = False) -> dict:
+        """Delete ``.ctrace`` files that no longer decode.
+
+        The trace analogue of :meth:`SweepCache.prune`: because the
+        format salt is folded into the key rather than the blob, entries
+        written under an older codec linger on disk and fail
+        :meth:`~repro.sim.ctrace.CompiledTrace.from_bytes` — they can
+        never be served again and are pure dead weight.  ``dry_run``
+        counts without deleting.  Returns
+        ``{"scanned", "stale", "removed", "kept"}``.
+        """
+        scanned = stale = removed = 0
+        if self.directory.is_dir():
+            from ..sim.ctrace import CompiledTrace
+
+            for path in sorted(self.directory.glob("*.ctrace")):
+                scanned += 1
+                try:
+                    CompiledTrace.from_bytes(path.read_bytes())
+                except (OSError, ValueError, KeyError, TypeError, zlib.error):
+                    stale += 1
+                    if not dry_run:
+                        try:
+                            path.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+        return {
+            "scanned": scanned,
+            "stale": stale,
+            "removed": removed,
+            "kept": scanned - stale,
+        }
+
 
 #: Process-wide trace cache shared by every sweep in this process (the
 #: in-memory memo is what makes bench repeats and multi-figure CLI runs
@@ -414,4 +477,13 @@ def shared_trace_cache() -> TraceCache:
     global _SHARED_TRACE_CACHE
     if _SHARED_TRACE_CACHE is None:
         _SHARED_TRACE_CACHE = TraceCache()
+    return _SHARED_TRACE_CACHE
+
+
+def peek_trace_cache() -> Optional[TraceCache]:
+    """The shared trace cache if one exists, without creating it.
+
+    CLI reporting uses this so that commands which never compiled a
+    trace don't print (or instantiate) an idle cache.
+    """
     return _SHARED_TRACE_CACHE

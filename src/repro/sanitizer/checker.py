@@ -32,14 +32,21 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..core.design import DesignSpec, resolve_design
-from .rules import RULES, PsanDiagnostic, PsanReport
+from .rules import (
+    LOGGING_RULES,
+    RULES,
+    PsanDiagnostic,
+    PsanReport,
+    claims_guarantee,
+)
 
 _EPS = 1e-6
 _WORD = 8
 
-#: Rules the checker evaluates for logging policies.  ``non-pers`` makes
-#: no persistence claim, so no rule applies to it.
-_LOGGING_RULES = tuple(RULES)
+# Backwards-compatible aliases; the metadata now lives in rules.py where
+# the static verifier shares it.
+_LOGGING_RULES = LOGGING_RULES
+_claims_guarantee = claims_guarantee
 
 
 def _word_base(addr: int) -> int:
@@ -720,13 +727,6 @@ def run_psan(
     report.threads = threads
     outcome.machine.nvram.recycle()
     return report
-
-
-def _claims_guarantee(policy_name: str) -> bool:
-    try:
-        return resolve_design(policy_name).persistence_guaranteed
-    except ValueError:
-        return True  # unknown design: treat violations as real
 
 
 @dataclass

@@ -1,8 +1,12 @@
-"""Determinism and accounting lint (the static half of the sanitizer).
+"""Determinism and accounting lint (the source half of the sanitizer).
 
-``repro lint`` runs an AST pass over the source tree and rejects four
-classes of hazard that have historically produced irreproducible or
-silently-wrong simulation results:
+``repro lint`` runs a set of **pluggable AST passes** over the source
+tree.  Each pass is a :class:`LintPass` subclass registered under its
+rule id via :func:`register_pass`; ``lint_file`` instantiates every
+registered pass that declares itself applicable to the file and runs it
+over the parsed tree.  The built-in passes reject four classes of
+hazard that have historically produced irreproducible or silently-wrong
+simulation results:
 
 ``wall-clock``
     Importing ambient-entropy or wall-clock modules (``random``,
@@ -31,13 +35,20 @@ silently-wrong simulation results:
     parallel event stream the sanitizer silently ignores.
 
 A finding on a line containing ``# lint: allow(rule-id)`` is suppressed;
-the comment marks a reviewed, justified exception.
+the comment marks a reviewed, justified exception.  Suppressions are
+themselves **audited**: an ``allow`` whose rule no longer fires on that
+line (the code changed, the exception went stale) is reported as a
+``stale-suppression`` finding — informational by default, fatal under
+``repro lint --strict`` — so dead exceptions cannot silently accumulate.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
+import re
+import tokenize
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -65,6 +76,11 @@ TIME_IDENTIFIERS = frozenset(
 )
 
 _ALLOW_MARK = "lint: allow("
+_ALLOW_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
+
+#: The audit pass's own rule id (not an AST pass; produced by the
+#: suppression audit in :func:`lint_file`).
+STALE_SUPPRESSION = "stale-suppression"
 
 
 @dataclass(frozen=True)
@@ -164,62 +180,102 @@ def _is_none_constant(node: ast.AST) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
 
 
-class _Visitor(ast.NodeVisitor):
-    def __init__(
-        self,
-        path: str,
-        stats_fields: frozenset,
-        event_kinds: frozenset,
-        check_wall_clock: bool,
-    ) -> None:
-        self.path = path
-        self.stats_fields = stats_fields
-        self.event_kinds = event_kinds
-        self.check_wall_clock = check_wall_clock
+# ----------------------------------------------------------------------
+# The pass framework
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LintContext:
+    """Per-file inputs shared by every pass."""
+
+    path: str
+    stats_fields: frozenset
+    event_kinds: frozenset
+    deterministic: bool
+
+
+#: rule id -> LintPass subclass, in registration order.
+PASSES: dict = {}
+
+
+def register_pass(cls):
+    """Class decorator adding a :class:`LintPass` to the registry."""
+    assert cls.rule and cls.rule not in PASSES, cls
+    PASSES[cls.rule] = cls
+    return cls
+
+
+class LintPass(ast.NodeVisitor):
+    """One lint rule: an AST visitor producing findings for its rule.
+
+    Subclasses set ``rule`` / ``description``, override visit methods,
+    and may override :meth:`applicable` to skip files the rule does not
+    govern (the pass then never runs there, and its suppressions in
+    those files are ignored rather than audited).
+    """
+
+    rule: str = "?"
+    description: str = ""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
         self.findings: list = []
 
-    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+    @classmethod
+    def applicable(cls, ctx: LintContext) -> bool:
+        return True
+
+    def add(self, node: ast.AST, message: str) -> None:
         self.findings.append(
-            LintFinding(rule, self.path, getattr(node, "lineno", 0), message)
+            LintFinding(self.rule, self.ctx.path, getattr(node, "lineno", 0), message)
         )
 
-    # -- wall-clock ----------------------------------------------------
+
+@register_pass
+class WallClockPass(LintPass):
+    rule = "wall-clock"
+    description = "no ambient entropy / wall clock in simulation packages"
+
+    @classmethod
+    def applicable(cls, ctx: LintContext) -> bool:
+        return ctx.deterministic
+
     def visit_Import(self, node: ast.Import) -> None:
-        if self.check_wall_clock:
-            for alias in node.names:
-                root = alias.name.split(".")[0]
-                if root in WALL_CLOCK_MODULES:
-                    self._add(
-                        "wall-clock",
-                        node,
-                        f"import of {alias.name!r} in a deterministic "
-                        "simulation module (use simulated time / the "
-                        "seeded workload RNG)",
-                    )
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in WALL_CLOCK_MODULES:
+                self.add(
+                    node,
+                    f"import of {alias.name!r} in a deterministic "
+                    "simulation module (use simulated time / the "
+                    "seeded workload RNG)",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if self.check_wall_clock and node.level == 0 and node.module:
+        if node.level == 0 and node.module:
             root = node.module.split(".")[0]
             if root in WALL_CLOCK_MODULES:
-                self._add(
-                    "wall-clock",
+                self.add(
                     node,
                     f"import from {node.module!r} in a deterministic "
                     "simulation module",
                 )
         self.generic_visit(node)
 
-    # -- stats-counter -------------------------------------------------
-    def _check_stats_target(self, target: ast.AST) -> None:
+
+@register_pass
+class StatsCounterPass(LintPass):
+    rule = "stats-counter"
+    description = "stats writes must target declared MachineStats fields"
+
+    def _check_target(self, target: ast.AST) -> None:
         if not isinstance(target, ast.Attribute):
             return
         value = target.value
         if not (isinstance(value, ast.Attribute) and value.attr in ("stats", "_stats")):
             return
-        if target.attr not in self.stats_fields:
-            self._add(
-                "stats-counter",
+        if target.attr not in self.ctx.stats_fields:
+            self.add(
                 target,
                 f"write to undeclared stats counter {target.attr!r} "
                 "(declare it on MachineStats)",
@@ -227,14 +283,19 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
-            self._check_stats_target(target)
+            self._check_target(target)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_stats_target(node.target)
+        self._check_target(node.target)
         self.generic_visit(node)
 
-    # -- float-eq ------------------------------------------------------
+
+@register_pass
+class FloatEqPass(LintPass):
+    rule = "float-eq"
+    description = "no exact ==/!= between cycle-time floats"
+
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left] + list(node.comparators)
         for op, left, right in zip(node.ops, operands, operands[1:]):
@@ -244,15 +305,19 @@ class _Visitor(ast.NodeVisitor):
                 continue
             name = _time_identifier(left) or _time_identifier(right)
             if name is not None:
-                self._add(
-                    "float-eq",
+                self.add(
                     node,
                     f"exact ==/!= on cycle-time value {name!r} "
                     "(compare with a tolerance, or annotate the sentinel)",
                 )
         self.generic_visit(node)
 
-    # -- event-kind ----------------------------------------------------
+
+@register_pass
+class EventKindPass(LintPass):
+    rule = "event-kind"
+    description = "emitted event kinds must be registered"
+
     def visit_Call(self, node: ast.Call) -> None:
         if (
             isinstance(node.func, ast.Attribute)
@@ -262,9 +327,8 @@ class _Visitor(ast.NodeVisitor):
             and isinstance(node.args[1].value, str)
         ):
             kind = node.args[1].value
-            if kind not in self.event_kinds:
-                self._add(
-                    "event-kind",
+            if kind not in self.ctx.event_kinds:
+                self.add(
                     node,
                     f"emit of unregistered event kind {kind!r} "
                     "(register it in repro.sim.events.EVENT_KINDS)",
@@ -272,12 +336,75 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# ----------------------------------------------------------------------
+# Driving the passes + the suppression audit
+# ----------------------------------------------------------------------
+def _comment_lines(source: str) -> dict:
+    """``lineno -> comment text`` for every real comment token.
+
+    Tokenizing (rather than scanning raw lines) keeps docstrings that
+    merely *mention* the allow syntax out of the audit.
+    """
+    comments: dict = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except tokenize.TokenError:
+        pass
+    return comments
+
+
+def _audit_suppressions(
+    path: str, source: str, raw: list, active_rules: set
+) -> list:
+    """Stale ``lint: allow`` marks: no finding of that rule on the line.
+
+    Marks naming a rule whose pass did not run on this file (e.g. a
+    ``wall-clock`` allow outside the deterministic packages) are skipped
+    — the pass could not have fired there, so the mark's staleness is
+    unknowable, and flagging it would punish moving a file.
+    """
+    fired = {(finding.line, finding.rule) for finding in raw}
+    stale: list = []
+    for lineno, text in sorted(_comment_lines(source).items()):
+        for rule in _ALLOW_RE.findall(text):
+            if rule == STALE_SUPPRESSION:
+                continue
+            if rule not in PASSES:
+                stale.append(
+                    LintFinding(
+                        STALE_SUPPRESSION,
+                        path,
+                        lineno,
+                        f"allow({rule}) names no registered lint pass",
+                    )
+                )
+            elif rule in active_rules and (lineno, rule) not in fired:
+                stale.append(
+                    LintFinding(
+                        STALE_SUPPRESSION,
+                        path,
+                        lineno,
+                        f"allow({rule}) suppresses nothing: the rule no "
+                        "longer fires on this line (remove the comment)",
+                    )
+                )
+    return stale
+
+
 def lint_file(
     path: str,
     stats_fields: Optional[frozenset] = None,
     event_kinds: Optional[frozenset] = None,
+    audit_suppressions: bool = True,
 ) -> list:
-    """Lint one Python file; returns surviving (unsuppressed) findings."""
+    """Lint one file through every applicable registered pass.
+
+    Returns surviving (unsuppressed) findings, plus — when
+    ``audit_suppressions`` — a ``stale-suppression`` finding for every
+    ``lint: allow`` comment that suppressed nothing.
+    """
     if stats_fields is None:
         stats_fields = declared_stats_fields()
     if event_kinds is None:
@@ -285,24 +412,31 @@ def lint_file(
     with open(path, "r", encoding="utf-8") as fh:
         source = fh.read()
     tree = ast.parse(source, filename=path)
-    visitor = _Visitor(
-        path,
-        stats_fields,
-        event_kinds,
-        check_wall_clock=_deterministic_module(path),
+    ctx = LintContext(
+        path, stats_fields, event_kinds, deterministic=_deterministic_module(path)
     )
-    visitor.visit(tree)
+    raw: list = []
+    active_rules: set = set()
+    for cls in PASSES.values():
+        if not cls.applicable(ctx):
+            continue
+        active_rules.add(cls.rule)
+        lint_pass = cls(ctx)
+        lint_pass.visit(tree)
+        raw.extend(lint_pass.findings)
     lines = source.splitlines()
     kept = []
-    for finding in visitor.findings:
+    for finding in raw:
         line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
         if f"{_ALLOW_MARK}{finding.rule})" in line_text:
             continue
         kept.append(finding)
+    if audit_suppressions:
+        kept.extend(_audit_suppressions(path, source, raw, active_rules))
     return kept
 
 
-def lint_paths(paths: Iterable[str]) -> list:
+def lint_paths(paths: Iterable[str], audit_suppressions: bool = True) -> list:
     """Lint files and directory trees; returns all findings, sorted."""
     stats_fields = declared_stats_fields()
     event_kinds = registered_event_kinds()
@@ -317,6 +451,13 @@ def lint_paths(paths: Iterable[str]) -> list:
             files.append(path)
     findings: list = []
     for path in sorted(files):
-        findings.extend(lint_file(path, stats_fields, event_kinds))
+        findings.extend(
+            lint_file(
+                path,
+                stats_fields,
+                event_kinds,
+                audit_suppressions=audit_suppressions,
+            )
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

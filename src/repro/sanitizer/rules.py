@@ -25,6 +25,10 @@ class Rule:
     description: str
 
 
+#: Rule ids whose invariants concern the replication (log-shipping)
+#: layer rather than a single machine's persist ordering.
+REPLICATION_RULE_IDS = ("repl-ack-durable", "repl-commit-quorum", "repl-seq-order")
+
 RULES: dict[str, Rule] = {
     rule.id: rule
     for rule in (
@@ -137,6 +141,46 @@ RULES: dict[str, Rule] = {
     )
 }
 """All registered psan rules, keyed by rule id."""
+
+#: Rules evaluated for any design with a log backend.  ``non-pers``
+#: makes no persistence claim, so no rule applies to it.  Shared by the
+#: dynamic checker and the static verifier so both report the same
+#: ``rules_checked`` universe for a given design.
+LOGGING_RULES = tuple(RULES)
+
+#: The single-machine ordering rules (everything but replication).
+ORDERING_RULES = tuple(r for r in RULES if r not in REPLICATION_RULE_IDS)
+
+
+def rules_for_design(spec) -> tuple:
+    """The rule ids that apply to ``spec`` (a design or its name).
+
+    A design without a log backend claims nothing, so nothing is
+    checked; every logging design is measured against the full registry.
+    Both the dynamic checker and the static verifier gate on this, which
+    is what makes their ``rules_checked`` tuples comparable cell by
+    cell.
+    """
+    from ..core.design import resolve_design
+
+    spec = resolve_design(spec)
+    if spec.uses_hw_logging or spec.uses_sw_logging:
+        return LOGGING_RULES
+    return ()
+
+
+def claims_guarantee(policy_name) -> bool:
+    """True when ``policy_name`` resolves to a guarantee-claiming design.
+
+    Unknown design names are treated as claiming a guarantee so their
+    violations are surfaced rather than excused.
+    """
+    from ..core.design import resolve_design
+
+    try:
+        return resolve_design(policy_name).persistence_guaranteed
+    except ValueError:
+        return True
 
 
 @dataclass(frozen=True)

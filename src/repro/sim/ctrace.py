@@ -108,6 +108,53 @@ class CompiledThread:
         return len(self.kinds)
 
     # ------------------------------------------------------------------
+    # Analyzer views (static verifier / happens-before detector).  These
+    # expose the columns as per-op tuples without copying; the consumers
+    # walk each thread exactly once.
+    # ------------------------------------------------------------------
+    def iter_ops(self):
+        """Yield ``(index, kind, a, b)`` for every recorded op."""
+        kinds = self.kinds
+        a = self.a
+        b = self.b
+        for i in range(len(kinds)):
+            yield i, kinds[i], a[i], b[i]
+
+    def write_pieces(self, first: int, count: int):
+        """Yield ``(piece_index, addr, length, symbolic)`` for a WRITE op.
+
+        ``first``/``count`` are the op's ``a``/``b`` column values.
+        Addresses may be symbolic block tokens (see the module
+        docstring); analyzers treat symbolic and real addresses
+        uniformly, since distinct blocks never alias.
+        """
+        piece_addr = self.piece_addr
+        piece_len = self.piece_len
+        piece_sym = self.piece_sym
+        for j in range(first, first + count):
+            yield j, piece_addr[j], piece_len[j], bool(piece_sym[j])
+
+    def txn_spans(self) -> list:
+        """``(begin_index, commit_index)`` per transaction, in order.
+
+        ``commit_index`` is ``None`` for a transaction left open at the
+        end of the recorded stream (never the case for traces the
+        compiler produces, but synthetic analyzer inputs may be
+        truncated).
+        """
+        spans: list = []
+        open_at = None
+        for i, kind in enumerate(self.kinds):
+            if kind == K_TX_BEGIN:
+                open_at = i
+            elif kind == K_TX_COMMIT and open_at is not None:
+                spans.append((open_at, i))
+                open_at = None
+        if open_at is not None:
+            spans.append((open_at, None))
+        return spans
+
+    # ------------------------------------------------------------------
     def derive_read_lines(self, line_size: int, use_numpy: Optional[bool] = None) -> None:
         """Build :attr:`read_line` (numpy when available, else stdlib).
 

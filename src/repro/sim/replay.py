@@ -610,7 +610,7 @@ def _fast_thread(machine: Machine, pm, col: CompiledThread, tid: int, bind: dict
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
-def run_compiled(trace: CompiledTrace, run, machine_hook=None):
+def run_compiled(trace: CompiledTrace, run, machine_hook=None, bind_out=None):
     """Replay ``trace`` under ``run`` (a :class:`RunConfig`); returns the
     same :class:`~repro.harness.runner.RunOutcome` as
     :func:`~repro.harness.runner.run_workload` with bit-identical stats.
@@ -619,6 +619,11 @@ def run_compiled(trace: CompiledTrace, run, machine_hook=None):
     tracer or fault monitor (psan does both via ``machine.tracer``)
     switches to the via-API engine, which preserves the exact event
     stream; otherwise the trace-free fast engine runs.
+
+    ``bind_out`` (a dict, filled in place) receives the symbolic
+    block-id -> real-address binding the replay establishes; the static
+    verifier uses it to translate a counterexample's symbolic addresses
+    into the addresses the dynamic checker diagnosed.
     """
     from ..harness.runner import RunOutcome, default_experiment_config
     from ..txn.runtime import PersistentMemory
@@ -648,7 +653,7 @@ def run_compiled(trace: CompiledTrace, run, machine_hook=None):
     machine.nvram.load_image_prefix(trace.image_prefix)
     pm.heap.restore(trace.heap_state)
 
-    bind: dict[int, int] = {}
+    bind: dict[int, int] = {} if bind_out is None else bind_out
     if machine.tracer is not None or machine.fault_monitor is not None:
         generators = [
             _api_thread(pm.api(core_id=tid, tid=tid), trace.thread_cols[tid], bind)

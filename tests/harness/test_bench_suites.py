@@ -21,6 +21,7 @@ EXPECTED_SUITES = [
     "sweep-cache-hit",
     "compile-decode",
     "compile-replay",
+    "pstatic-matrix",
     "ablate-grid",
 ]
 

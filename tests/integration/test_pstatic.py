@@ -1,0 +1,218 @@
+"""CLI integration tests: ``repro pstatic``, ``repro lint`` strictness,
+``repro cache stats``/``prune`` trace-entry handling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import build_parser, main
+
+TXNS = 8
+
+
+class TestParser:
+    def test_pstatic_defaults(self):
+        args = build_parser().parse_args(["pstatic"])
+        assert sorted(args.benchmarks.split(",")) == [
+            "btree", "hash", "rbtree", "sps", "ssca2",
+        ]
+        assert args.threads == "1,2,4"
+        assert args.txns == 40
+        assert not args.differential
+        assert args.markdown is None
+
+    def test_lint_strict_flag(self):
+        args = build_parser().parse_args(["lint", "--strict"])
+        assert args.strict
+
+
+class TestPstaticMatrix:
+    def test_matrix_passes_and_annotates_unguaranteed_rows(self, capsys):
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "hwl,hw-rlog", "--txns", str(TXNS),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pstatic: PASS" in out
+        # hw-rlog violates undo-missing by design; the row is annotated
+        # rather than failing the gate.
+        assert "no guarantee claimed" in out
+        assert "undo-missing" in out
+
+    def test_json_payload(self, capsys):
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "hwl", "--txns", str(TXNS), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["clean"] is True
+        cell = payload["cells"][0]
+        assert (cell["policy"], cell["benchmark"]) == ("hwl", "hash")
+        assert cell["races"]["clean"] is True
+        verdicts = cell["verdicts"]
+        assert verdicts["undo-missing"]["verdict"] == "proven"
+
+    def test_proofs_flag_prints_reasons(self, capsys):
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "hwl", "--txns", str(TXNS), "--proofs",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[steal-order] proven" in out
+
+    def test_markdown_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "verdicts.md"
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "hwl", "--txns", str(TXNS),
+            "--markdown", str(artifact),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        text = artifact.read_text()
+        assert "Static persistency verdict matrix" in text
+        assert "| hash | 1 | hwl | yes | clean |" in text
+
+
+class TestPstaticDifferential:
+    def test_differential_gate_passes_with_confirmations(self, capsys):
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "hwl,unsafe-base", "--txns", str(TXNS),
+            "--differential",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "differential: PASS" in out
+        # unsafe-base fires rules; each static counterexample must have
+        # replay-confirmed against the dynamic diagnostics.
+        assert ":confirmed" in out
+        assert "UNCONFIRMED" not in out
+
+    def test_differential_markdown_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "differential.md"
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "hwl", "--txns", str(TXNS),
+            "--differential", "--markdown", str(artifact),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        text = artifact.read_text()
+        assert "Differential gate: **PASS**" in text
+        assert "| hash | 1 | hwl | clean | clean | yes |" in text
+
+    def test_differential_json(self, capsys):
+        rc = main([
+            "pstatic", "--benchmarks", "hash", "--threads", "1",
+            "--policies", "unsafe-base", "--txns", str(TXNS),
+            "--differential", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["passed"] is True
+        cell = payload["cells"][0]
+        assert cell["static_fired"] == cell["dynamic_fired"]
+        assert all(c["confirmed"] for c in cell["confirmations"])
+        assert cell["static_cost"] > 0 and cell["dynamic_cost"] > 0
+
+
+class TestLintStrict:
+    def write_stale(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        # wall-clock is active on deterministic modules but nothing on
+        # this line trips it: the suppression suppresses nothing.
+        (pkg / "x.py").write_text("x = 1  # lint: allow(wall-clock)\n")
+        return pkg
+
+    def test_stale_suppression_is_advisory_by_default(self, tmp_path, capsys):
+        self.write_stale(tmp_path)
+        rc = main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stale-suppression" in out
+        assert "informational" in out
+
+    def test_stale_suppression_fails_strict(self, tmp_path, capsys):
+        self.write_stale(tmp_path)
+        rc = main(["lint", "--strict", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale-suppression" in out
+
+    def test_unknown_rule_suppression_reported(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text("x = 1  # lint: allow(bogus-rule)\n")
+        rc = main(["lint", "--strict", str(pkg)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "names no registered lint pass" in out
+
+    def test_real_findings_fail_without_strict(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text("import random\n")
+        assert main(["lint", str(pkg)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_json_shape(self, tmp_path, capsys):
+        self.write_stale(tmp_path)
+        rc = main(["lint", "--json", str(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["real"] == 0
+        assert payload["stale_suppressions"] == 1
+        assert payload["findings"][0]["rule"] == "stale-suppression"
+
+    def test_source_tree_is_strict_clean(self, capsys):
+        assert main(["lint", "--strict", "src/repro"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_stats_counts_stale_trace_entries_without_failing(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "deadbeef.ctrace").write_bytes(b"not a trace blob")
+        rc = main(["cache", "stats", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 stale (prunable)" in out
+
+    def test_prune_removes_stale_trace_entries(self, tmp_path, capsys):
+        junk = tmp_path / "deadbeef.ctrace"
+        junk.write_bytes(b"not a trace blob")
+        rc = main(["cache", "prune", "--dry-run", "--dir", str(tmp_path)])
+        assert rc == 0
+        assert junk.exists()
+        rc = main(["cache", "prune", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert not junk.exists()
+        assert "trace prune" in out
+
+    def test_stats_verifies_live_entries(self, tmp_path, capsys):
+        from repro.harness.cache import TraceCache
+        from repro.harness.runner import prepare_workload
+        from repro.sim.replay import compile_trace
+        from repro.workloads.hashtable import HashTableWorkload
+
+        from tests.conftest import tiny_system
+
+        prepared = prepare_workload(
+            HashTableWorkload(seed=3, buckets_per_partition=8, keys_per_partition=32),
+            tiny_system(),
+        )
+        trace = compile_trace(prepared, 1, 4)
+        cache = TraceCache(tmp_path, use_disk=True)
+        cache.put(cache.key(prepared.system, prepared.workload, 1, 4), trace)
+        rc = main(["cache", "stats", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 CRC-verified" in out
+        assert "0 stale" in out

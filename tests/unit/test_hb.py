@@ -1,0 +1,170 @@
+"""Unit tests for the vector-clock race detector (repro.sanitizer.hb)."""
+
+from __future__ import annotations
+
+from repro.sanitizer.hb import RaceDetector, detect_races
+from repro.sim.ctrace import sym_token
+from tests.conftest import synthetic_trace
+
+A = 0x1000
+B = 0x2000
+
+
+class TestDetectorAlgebra:
+    def test_unordered_write_write_races(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.write(1, A, 8, op_index=0)
+        report = d.finish()
+        assert len(report.races) == 1
+        race = report.races[0]
+        assert {race.first.tid, race.second.tid} == {0, 1}
+
+    def test_unordered_read_write_races(self):
+        d = RaceDetector()
+        d.read(0, A, 8, op_index=0)
+        d.write(1, A, 8, op_index=0)
+        assert len(d.finish().races) == 1
+
+    def test_write_read_races(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.read(1, A, 8, op_index=0)
+        report = d.finish()
+        assert len(report.races) == 1
+        assert report.races[0].second.kind == "read"
+
+    def test_concurrent_reads_do_not_race(self):
+        d = RaceDetector()
+        d.read(0, A, 8, op_index=0)
+        d.read(1, A, 8, op_index=1)
+        d.read(2, A, 8, op_index=2)
+        assert d.finish().clean
+
+    def test_same_thread_never_races(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.read(0, A, 8, op_index=1)
+        d.write(0, A, 8, op_index=2)
+        assert d.finish().clean
+
+    def test_release_acquire_orders_accesses(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.release(0, "lock")
+        d.acquire(1, "lock")
+        d.write(1, A, 8, op_index=1)
+        assert d.finish().clean
+
+    def test_acquire_of_unreleased_object_gives_no_edge(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.acquire(1, "lock")  # nothing was released on "lock"
+        d.write(1, A, 8, op_index=1)
+        assert len(d.finish().races) == 1
+
+    def test_transitive_ordering_through_chain(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.release(0, "x")
+        d.acquire(1, "x")
+        d.release(1, "y")
+        d.acquire(2, "y")
+        d.write(2, A, 8, op_index=1)
+        assert d.finish().clean
+
+    def test_distinct_words_do_not_race(self):
+        d = RaceDetector()
+        d.write(0, 0x1000, 8, op_index=0)
+        d.write(1, 0x1008, 8, op_index=0)
+        assert d.finish().clean
+
+    def test_word_granularity_catches_overlap(self):
+        # [0x1004, 0x100c) straddles the words at 0x1000 and 0x1008.
+        d = RaceDetector()
+        d.write(0, 0x1000, 8, op_index=0)
+        d.write(1, 0x1004, 8, op_index=0)
+        assert len(d.finish().races) == 1
+
+    def test_multi_word_span_races_once_per_word(self):
+        d = RaceDetector()
+        d.write(0, A, 16, op_index=0)  # two words
+        d.write(1, A, 16, op_index=0)
+        assert len(d.finish().races) == 2
+
+    def test_max_races_truncates(self):
+        d = RaceDetector(max_races=2)
+        for i in range(4):
+            d.write(0, A + 8 * i, 8, op_index=i)
+            d.write(1, A + 8 * i, 8, op_index=i)
+        report = d.finish()
+        assert len(report.races) == 2
+        assert report.truncated
+
+    def test_counters(self):
+        d = RaceDetector()
+        d.write(0, A, 8, op_index=0)
+        d.read(0, B, 8, op_index=1)
+        report = d.finish()
+        assert report.accesses == 2
+        assert report.words_tracked == 2
+
+
+class TestDetectRacesOnTraces:
+    def test_partitioned_threads_are_clean(self):
+        trace = synthetic_trace(
+            [("begin",), ("write", (A, 8)), ("read", A, 8), ("commit",)],
+            [("begin",), ("write", (B, 8)), ("read", B, 8), ("commit",)],
+        )
+        report = detect_races(trace)
+        assert report.clean
+        assert report.accesses == 4
+
+    def test_shared_word_write_write_races(self):
+        trace = synthetic_trace(
+            [("write", (A, 8))],
+            [("write", (A, 8))],
+        )
+        report = detect_races(trace)
+        assert len(report.races) == 1
+
+    def test_transactions_are_not_synchronization(self):
+        # The designs order persists; they do not provide isolation, so
+        # wrapping the accesses in transactions must not hide the race.
+        trace = synthetic_trace(
+            [("begin",), ("write", (A, 8)), ("commit",)],
+            [("begin",), ("write", (A, 8)), ("commit",)],
+        )
+        assert not detect_races(trace).clean
+
+    def test_free_races_with_foreign_access(self):
+        trace = synthetic_trace(
+            [("read", A, 8)],
+            [("free", A, 8)],
+        )
+        report = detect_races(trace)
+        assert len(report.races) == 1
+        assert "free" in {r.first.kind for r in report.races} | {
+            r.second.kind for r in report.races
+        }
+
+    def test_symbolic_blocks_never_alias(self):
+        # Distinct symbolic blocks are distinct allocations by
+        # construction; same block + same offset is the same word.
+        trace = synthetic_trace(
+            [("write", (sym_token(1), 8))],
+            [("write", (sym_token(2), 8))],
+            [("write", (sym_token(1), 8))],
+        )
+        report = detect_races(trace)
+        assert len(report.races) == 1
+        assert report.races[0].word == sym_token(1)
+
+    def test_race_report_renders(self):
+        trace = synthetic_trace([("write", (A, 8))], [("write", (A, 8))])
+        rendered = detect_races(trace).render()
+        assert "race on word" in rendered
+        clean = detect_races(
+            synthetic_trace([("write", (A, 8))])
+        ).render()
+        assert "clean" in clean

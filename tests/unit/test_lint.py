@@ -142,3 +142,69 @@ class TestPlumbing:
         assert finding.to_dict() == {
             "rule": "float-eq", "path": "x.py", "line": 3, "message": "msg",
         }
+
+
+class TestPassFramework:
+    def test_builtin_passes_registered(self):
+        from repro.sanitizer.lint import PASSES
+
+        assert set(PASSES) >= {
+            "wall-clock", "stats-counter", "float-eq", "event-kind",
+        }
+        for rule, cls in PASSES.items():
+            assert cls.rule == rule
+            assert cls.description
+
+    def test_custom_pass_participates(self, tmp_path):
+        import ast
+
+        from repro.sanitizer.lint import PASSES, LintPass, register_pass
+
+        @register_pass
+        class NoGlobalsPass(LintPass):
+            rule = "no-globals"
+            description = "test-only: reject the global statement"
+
+            def visit_Global(self, node):
+                self.add(node, "global statement")
+
+        try:
+            findings = run(
+                tmp_path, "x.py", "def f():\n    global g\n    g = 1\n"
+            )
+            assert [f.rule for f in findings] == ["no-globals"]
+        finally:
+            PASSES.pop("no-globals")
+
+
+class TestSuppressionAudit:
+    def test_stale_suppression_reported(self, tmp_path):
+        body = "x = 1  # lint: allow(float-eq) was a time compare once\n"
+        findings = run(tmp_path, "x.py", body)
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert "suppresses nothing" in findings[0].message
+
+    def test_live_suppression_is_not_stale(self, tmp_path):
+        body = "import random  # lint: allow(wall-clock) seeded explicitly\n"
+        assert run(tmp_path, "repro/sim/x.py", body) == []
+
+    def test_unknown_rule_reported(self, tmp_path):
+        findings = run(tmp_path, "x.py", "x = 1  # lint: allow(bogus-rule)\n")
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert "names no registered lint pass" in findings[0].message
+
+    def test_inactive_rule_suppression_skipped(self, tmp_path):
+        # wall-clock does not run outside the deterministic packages,
+        # so the mark's staleness is unknowable there — not a finding.
+        body = "import time  # lint: allow(wall-clock)\n"
+        assert run(tmp_path, "repro/harness/x.py", body) == []
+
+    def test_docstrings_are_not_audited(self, tmp_path):
+        body = '"""Mentions lint: allow(float-eq) in prose only."""\nx = 1\n'
+        assert run(tmp_path, "x.py", body) == []
+
+    def test_audit_can_be_disabled(self, tmp_path):
+        from repro.sanitizer.lint import lint_file
+
+        path = write(tmp_path, "x.py", "x = 1  # lint: allow(float-eq)\n")
+        assert lint_file(path, STATS, KINDS, audit_suppressions=False) == []
