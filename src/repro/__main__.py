@@ -644,6 +644,46 @@ def _cmd_lifetime(_args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .sched.loop import AdmissionConfig
+    from .sched.serve import ServeConfig, run_serve
+    from .sched.traffic import TrafficConfig
+
+    config = ServeConfig(
+        workload=args.workload,
+        policy=args.design,
+        shards=args.shards,
+        threads=args.threads,
+        batch_requests=args.batch,
+        traffic=TrafficConfig(
+            requests=args.requests,
+            rate=args.rate,
+            arrival=args.arrival,
+            burst_size=args.burst_size,
+            clients=args.clients,
+            seed=args.seed,
+        ),
+        admission=AdmissionConfig(max_queue_depth=args.queue_depth),
+        seed=args.seed,
+        replicas=args.replicas,
+        ring_records=args.ring_records,
+    )
+    report = run_serve(config)
+    print(report.render())
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(report.render_markdown())
+        print(f"markdown report written to {args.markdown}")
+    if args.json:
+        import json as json_module
+
+        with open(args.json, "w") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json report written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -834,6 +874,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dist.set_defaults(fn=_cmd_dist)
     sub.add_parser("lifetime").set_defaults(fn=_cmd_lifetime)
+    serve = sub.add_parser(
+        "serve",
+        help="run a seeded open-loop traffic scenario over sharded machines",
+    )
+    serve.add_argument(
+        "--workload",
+        default="memcached",
+        choices=["memcached", "redis", "ycsb"],
+        help="request-shaped WHISPER kernel to serve",
+    )
+    serve.add_argument(
+        "--design",
+        default="fwb",
+        help="design spec to run every shard under (default: fwb)",
+    )
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument("--threads", type=int, default=2, help="threads per shard")
+    serve.add_argument("--requests", type=int, default=512)
+    serve.add_argument(
+        "--rate", type=float, default=0.002, help="offered load, requests/cycle"
+    )
+    serve.add_argument(
+        "--arrival", default="poisson", choices=["poisson", "uniform", "burst"]
+    )
+    serve.add_argument("--burst-size", type=int, default=16)
+    serve.add_argument(
+        "--clients", type=int, default=1_000_000, help="simulated client id space"
+    )
+    serve.add_argument(
+        "--batch", type=int, default=8, help="max requests per transaction batch"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="per-shard admission bound on undispatched requests",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="replica rings per shard (mid-run log shipping + compaction)",
+    )
+    serve.add_argument("--ring-records", type=int, default=256)
+    serve.add_argument(
+        "--markdown", metavar="PATH", help="also write a markdown report"
+    )
+    serve.add_argument("--json", metavar="PATH", help="also write a JSON report")
+    serve.set_defaults(fn=_cmd_serve)
     psan = sub.add_parser(
         "psan",
         help="persistency-ordering sanitizer over a benchmark matrix",

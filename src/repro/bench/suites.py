@@ -417,3 +417,69 @@ def ablate_grid(quick: bool, timer: BenchTimer) -> dict:
         1 for spec in designs if spec.persistence_guaranteed
     )
     return counters
+
+
+def _serve_counters(report) -> dict:
+    """Deterministic counters from a serve report (cycles rounded: the
+    values are exact simulated quantities, rounding only normalises the
+    float formatting for the JSON baseline)."""
+    return {
+        "offered": report.offered,
+        "admitted": report.admitted,
+        "rejected": report.rejected,
+        "completed": report.completed,
+        "makespan_cycles": int(round(report.makespan_cycles)),
+        "p50_cycles": int(round(report.p50)),
+        "p99_cycles": int(round(report.p99)),
+        "p999_cycles": int(round(report.p999)),
+        "transactions": sum(s.transactions for s in report.per_shard),
+        "log_records": sum(s.log_records for s in report.per_shard),
+        "nvram_writes": sum(s.nvram_writes for s in report.per_shard),
+    }
+
+
+@register("serve-shard", "single-shard open-loop serve: step loop + batching")
+def serve_shard(quick: bool, timer: BenchTimer) -> dict:
+    from ..sched.serve import ServeConfig, run_serve
+    from ..sched.traffic import TrafficConfig
+
+    config = ServeConfig(
+        workload="memcached",
+        shards=1,
+        threads=2,
+        traffic=TrafficConfig(requests=64 if quick else 256, rate=0.002, seed=42),
+    )
+    with timer.timed():
+        report = run_serve(config)
+    return _serve_counters(report)
+
+
+@register("serve-traffic", "bursty multi-shard serve: admission + log shipping")
+def serve_traffic(quick: bool, timer: BenchTimer) -> dict:
+    from ..sched.loop import AdmissionConfig
+    from ..sched.serve import ServeConfig, run_serve
+    from ..sched.traffic import TrafficConfig
+
+    config = ServeConfig(
+        workload="redis",
+        shards=2,
+        threads=2,
+        batch_requests=4,
+        admission=AdmissionConfig(max_queue_depth=16),
+        traffic=TrafficConfig(
+            requests=96 if quick else 384,
+            rate=0.01,
+            arrival="burst",
+            burst_size=24,
+            seed=42,
+        ),
+        replicas=1,
+        ring_records=128,
+    )
+    with timer.timed():
+        report = run_serve(config)
+    counters = _serve_counters(report)
+    counters["records_shipped"] = report.replication["shipped"]
+    counters["ring_compactions"] = report.replication["compactions"]
+    counters["records_compacted"] = report.replication["records_compacted"]
+    return counters

@@ -10,13 +10,18 @@ NVRAM.  That is the point of the design: the single-node recovery path,
 already hardened by the fault campaign, is the *only* recovery path —
 replication just changes where the ring lives.
 
-The ring is sized to hold the entire run's record stream (slot == global
-sequence number, no wrap), so a replica can reconstruct committed state
+The ring is sized to hold a run's record stream without wrapping (slot
+== ``seq - base_seq``), so a replica can reconstruct committed state
 that the primary's small circular log has long overwritten — the primary
 relies on wrap-forced data write-backs that the replica's heap never
-received.  Mid-run ring compaction (dropping records below a
-cluster-wide committed frontier) is future work; the config validates
-the sizing instead of silently wrapping.
+received.  For open-ended serve traffic the ring *compacts* instead of
+growing without bound: :meth:`ReplicaNode.compact_below` folds the
+record prefix below the cluster-committed frontier into the mirrored
+heap (applying redo content in sequence order, exactly recovery's redo
+pass) and slides the surviving suffix down, advancing ``base_seq``.
+Compacted transactions are thereafter recovered from the checkpointed
+heap rather than replayed from the log — the classic
+checkpoint-plus-log contraction.
 """
 
 from __future__ import annotations
@@ -72,28 +77,38 @@ class ReplicaNode:
         self.nvram.load_image_prefix(image_prefix)
         self.ring = CircularLog(base, entries, entry_size, line_size=line_size)
         self.appended = 0  # slots occupied, torn tail included
+        self.base_seq = 0  # first sequence number still held in the ring
         self.torn_tail = False
 
     # ------------------------------------------------------------------
     def append(self, rec) -> int:
-        """Durably append one shipped record; returns its slot (== seq).
+        """Durably append one shipped record; returns its slot.
 
-        Deduplication is by sequence number: a record for an
-        already-occupied slot (a re-shipped or duplicated batch) is
-        ignored, so replayed batches cannot resurrect state — the slot
-        already holds the identical record, and an undone/aborted tail
-        can only be *truncated*, never re-extended, by recovery.
+        Slots map to sequence numbers as ``slot == seq - base_seq``
+        (``base_seq`` advances when :meth:`compact_below` folds a prefix
+        into the heap).  Deduplication is by sequence number: a record
+        at or below the expected frontier (a re-shipped or duplicated
+        batch, or one already compacted away) is ignored, so replayed
+        batches cannot resurrect state — the slot already holds the
+        identical record, and an undone/aborted tail can only be
+        *truncated*, never re-extended, by recovery.
         """
         if self.torn_tail:
             raise ConfigError(
                 f"replica {self.node_id}: append after a torn tail"
             )
-        if rec.seq < self.appended:
-            return rec.seq  # duplicate delivery: already durable
-        if rec.seq != self.appended:
+        expected = self.base_seq + self.appended
+        if rec.seq < expected:
+            return rec.seq - self.base_seq  # duplicate delivery: already durable
+        if rec.seq != expected:
             raise ConfigError(
                 f"replica {self.node_id}: out-of-order append "
-                f"(seq {rec.seq}, expected {self.appended})"
+                f"(seq {rec.seq}, expected {expected})"
+            )
+        if self.appended >= self.ring.num_entries:
+            raise ConfigError(
+                f"replica {self.node_id}: ring full at seq {rec.seq}; "
+                "compact below the cluster-committed frontier first"
             )
         placed = self.ring.place(self._materialize(rec))
         self.nvram.poke(placed.addr, placed.payload)
@@ -102,10 +117,15 @@ class ReplicaNode:
 
     def append_torn(self, rec, keep_bytes: int) -> int:
         """A torn landing: only ``keep_bytes`` of the entry became durable."""
-        if rec.seq != self.appended:
+        if rec.seq != self.base_seq + self.appended:
             raise ConfigError(
                 f"replica {self.node_id}: out-of-order torn append "
-                f"(seq {rec.seq}, expected {self.appended})"
+                f"(seq {rec.seq}, expected {self.base_seq + self.appended})"
+            )
+        if self.appended >= self.ring.num_entries:
+            raise ConfigError(
+                f"replica {self.node_id}: ring full at seq {rec.seq}; "
+                "compact below the cluster-committed frontier first"
             )
         placed = self.ring.place(self._materialize(rec))
         keep = max(0, min(keep_bytes, len(placed.payload)))
@@ -138,12 +158,13 @@ class ReplicaNode:
 
     # ------------------------------------------------------------------
     def scan_frontier(self) -> int:
-        """Contiguous cleanly-decodable records from slot 0.
+        """First sequence number past the contiguous decodable prefix.
 
         Read back from NVRAM (not from volatile bookkeeping), so damage
         injected after the append — a torn landing, post-hoc corruption —
         is discovered exactly the way a recovering node would discover
-        it.
+        it.  Sequence numbers below ``base_seq`` were folded into the
+        heap by compaction and count as durable by construction.
         """
         entry_size = self.ring.entry_size
         for slot in range(self.ring.num_entries):
@@ -151,33 +172,96 @@ class ReplicaNode:
             payload = self.nvram.peek(addr, entry_size)
             record, status = LogRecord.classify(payload)
             if status.name != "OK" or record is None:
-                return slot
+                return self.base_seq + slot
             if (record.torn & 1) != 1:
-                return slot  # wrong pass parity: not a first-pass record
-        return self.ring.num_entries
+                return self.base_seq + slot  # wrong parity: not first-pass
+        return self.base_seq + self.ring.num_entries
 
     def truncate_to(self, frontier: int) -> None:
-        """Zero every slot at or past ``frontier`` (reconciliation).
+        """Zero every slot at or past sequence ``frontier`` (reconciliation).
 
         Survivors agree on a common committed frontier before recovering
         independently; slots past it (records some other survivor never
         received, or a torn tail) are erased so every node scans the
-        identical window.
+        identical window.  ``frontier`` is an absolute sequence number;
+        anything below ``base_seq`` is already folded into the heap and
+        cannot be rewound.
         """
+        rel = max(0, frontier - self.base_seq)
         entry_size = self.ring.entry_size
         zeros = bytes(entry_size)
-        for slot in range(frontier, self.appended):
+        for slot in range(rel, self.appended):
             self.nvram.poke(self.ring.entry_addr(slot), zeros)
             self.ring._slot_lines[slot] = None
             self.ring._slot_kinds[slot] = None
-        self.appended = min(self.appended, frontier)
+        self.appended = min(self.appended, rel)
         self.torn_tail = False
         # Rewind the ring cursor too (the replica ring never wraps, so
-        # slot == seq must keep holding): a record re-shipped after the
-        # truncation lands back in its own slot, not wherever the stale
-        # cursor pointed.
+        # slot == seq - base_seq must keep holding): a record re-shipped
+        # after the truncation lands back in its own slot, not wherever
+        # the stale cursor pointed.
         self.ring.tail = self.appended
         self.ring.appended = min(self.ring.appended, self.appended)
+
+    def compact_below(self, frontier: int) -> int:
+        """Fold records below sequence ``frontier`` into the heap.
+
+        The dropped prefix's redo content is applied to the mirrored
+        primary space in sequence order — exactly the order recovery's
+        redo pass would have replayed it — after which those
+        transactions live in the checkpointed heap and the log entries
+        are free.  The surviving suffix slides down so ``slot ==
+        seq - base_seq`` keeps holding, and ``base_seq`` advances by the
+        number of records dropped (returned).
+
+        The caller is responsible for ``frontier`` not exceeding the
+        cluster-committed frontier: compacting an uncommitted record
+        would bake a possibly-aborting transaction into the checkpoint
+        with no undo information left to peel it back off.
+        """
+        drop = min(frontier - self.base_seq, self.appended)
+        if drop <= 0:
+            return 0
+        if self.torn_tail and drop >= self.appended:
+            raise ConfigError(
+                f"replica {self.node_id}: cannot compact through a torn tail"
+            )
+        entry_size = self.ring.entry_size
+        for slot in range(drop):
+            addr = self.ring.entry_addr(slot)
+            record, status = LogRecord.classify(self.nvram.peek(addr, entry_size))
+            if status.name != "OK" or record is None:
+                raise ConfigError(
+                    f"replica {self.node_id}: cannot compact undecodable "
+                    f"slot {slot} (seq {self.base_seq + slot})"
+                )
+            if record.kind is RecordKind.DATA:
+                if not record.redo:
+                    raise ConfigError(
+                        f"replica {self.node_id}: cannot compact an "
+                        f"undo-only record (seq {self.base_seq + slot}): "
+                        "no redo content to fold into the checkpoint"
+                    )
+                self.nvram.poke(record.addr, record.redo)
+            # BEGIN/COMMIT records are pure markers: nothing to fold.
+        keep = self.appended - drop
+        for slot in range(keep):
+            src = self.ring.entry_addr(slot + drop)
+            self.nvram.poke(
+                self.ring.entry_addr(slot), self.nvram.peek(src, entry_size)
+            )
+            self.ring._slot_lines[slot] = self.ring._slot_lines[slot + drop]
+            self.ring._slot_kinds[slot] = self.ring._slot_kinds[slot + drop]
+        zeros = bytes(entry_size)
+        for slot in range(keep, self.appended):
+            self.nvram.poke(self.ring.entry_addr(slot), zeros)
+            self.ring._slot_lines[slot] = None
+            self.ring._slot_kinds[slot] = None
+        self.ring.tail = keep
+        self.ring.appended = keep
+        self.base_seq += drop
+        self.appended = keep
+        return drop
 
     # ------------------------------------------------------------------
     def recover(

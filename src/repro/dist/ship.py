@@ -112,6 +112,8 @@ class LogStreamCollector:
             (log.base, log.num_entries * log.entry_size) for log in machine.logs
         )
         self._placed: list = []  # (place_order, ShippedRecord)
+        self._place_count = 0
+        self._next_seq = 0  # continues across incremental harvests
         self._pending_by_entry: dict = {}
         self._reported: list = []
         tracer.subscribe(self._on_event)
@@ -140,7 +142,8 @@ class LogStreamCollector:
             place_time=event.time,
             durable=d["release"] if d["release"] is not None else -1.0,
         )
-        self._placed.append(rec)
+        self._placed.append((self._place_count, rec))
+        self._place_count += 1
         if d["release"] is None:
             # Software record: durability resolves at the NVRAM write
             # covering its log entry (uncacheable store via the WCB).
@@ -164,19 +167,54 @@ class LogStreamCollector:
             entry += self._entry_size
 
     # ------------------------------------------------------------------
+    def harvest(self, before: float) -> list:
+        """Extract records durable strictly before ``before`` (mid-run).
+
+        The incremental shipping API: once every thread of the traced
+        machine has been stepped to cycle ``before``, any record still
+        pending durability will resolve at or after ``before``, so the
+        harvested prefix is final — its durability order can never be
+        perturbed by later execution.  Sequence numbers continue across
+        harvests (and into :meth:`finish`), giving the same global
+        durability order a single end-of-run collection would have
+        assigned.
+        """
+        ripe = [
+            (rec.durable, order, rec)
+            for order, rec in self._placed
+            if 0 <= rec.durable < before
+        ]
+        ripe.sort(key=lambda item: (item[0], item[1]))
+        taken = {id(rec) for _d, _o, rec in ripe}
+        self._placed = [
+            (order, rec) for order, rec in self._placed if id(rec) not in taken
+        ]
+        records = []
+        for _durable, _order, rec in ripe:
+            rec.seq = self._next_seq
+            self._next_seq += 1
+            records.append(rec)
+        return records
+
     def finish(self) -> LogStream:
-        """Stop listening; return the durability-ordered stream."""
+        """Stop listening; return the durability-ordered stream.
+
+        After incremental :meth:`harvest` calls, only the leftover
+        records appear here, numbered continuing from the harvested
+        prefix.
+        """
         self.tracer.unsubscribe(self._on_event)
-        undrained = sum(1 for rec in self._placed if rec.durable < 0)
+        undrained = sum(1 for _order, rec in self._placed if rec.durable < 0)
         durable = [
             (rec.durable, order, rec)
-            for order, rec in enumerate(self._placed)
+            for order, rec in self._placed
             if rec.durable >= 0
         ]
         durable.sort(key=lambda item: (item[0], item[1]))
         records = []
-        for seq, (_durable, _order, rec) in enumerate(durable):
-            rec.seq = seq
+        for _durable, _order, rec in durable:
+            rec.seq = self._next_seq
+            self._next_seq += 1
             records.append(rec)
         return LogStream(
             records=records,

@@ -148,13 +148,13 @@ class RunOutcome:
         return self.stats.ipc
 
 
-def run_workload(
+def _build_run(
     workload: Workload,
     run: RunConfig,
-    prepared: Optional[PreparedWorkload] = None,
-    machine_hook=None,
-) -> RunOutcome:
-    """Execute ``workload`` under ``run`` and return the outcome.
+    prepared: Optional[PreparedWorkload],
+    machine_hook,
+):
+    """Shared run construction: machine, memory, and a ready workload.
 
     With ``prepared``, the setup phase is skipped and the prepared NVRAM
     image and heap state are restored instead (the workload must have the
@@ -165,6 +165,10 @@ def run_workload(
     machine before any setup or execution — the attachment point for
     tracers and the persistency-ordering sanitizer (setup uses untimed
     pokes, so a tracer attached here sees only timed execution).
+
+    Returns ``(machine, pm, workload)`` with ``reset_run_state`` already
+    applied (the post-reset state is the baseline checkpoint shards
+    capture at construction).
     """
     system = run.system or (prepared.system if prepared else default_experiment_config())
     if run.threads > system.num_cores:
@@ -193,6 +197,52 @@ def run_workload(
     else:
         workload.setup(pm)
     workload.reset_run_state()
+    return machine, pm, workload
+
+
+def run_workload(
+    workload: Workload,
+    run: RunConfig,
+    prepared: Optional[PreparedWorkload] = None,
+    machine_hook=None,
+) -> RunOutcome:
+    """Execute ``workload`` under ``run`` and return the outcome.
+
+    Since the service-layer refactor this is a thin adapter: the run is
+    a single :class:`~repro.sched.shard.ShardMachine` in batch mode,
+    drained to completion by the event-loop scheduler.  The shard's step
+    loop replicates the historical core-clock min-heap drive order, so
+    outcomes are bit-identical to the pre-refactor monolithic loop
+    (kept below as :func:`run_workload_monolithic`; the differential
+    gate in ``tests/integration`` compares the two).
+    """
+    # Local imports: harness is a lower layer that sched builds on for
+    # serve mode; the adapter pulls sched in lazily to avoid the cycle.
+    from ..sched.loop import EventLoopScheduler
+    from ..sched.shard import ShardMachine
+
+    machine, pm, workload = _build_run(workload, run, prepared, machine_hook)
+    shard = ShardMachine(machine, pm, workload, threads=run.threads)
+    shard.start_batch(run.txns_per_thread)
+    EventLoopScheduler([shard]).drain()
+    stats = machine.finalize()
+    return RunOutcome(run.policy, run.threads, stats, machine, pm)
+
+
+def run_workload_monolithic(
+    workload: Workload,
+    run: RunConfig,
+    prepared: Optional[PreparedWorkload] = None,
+    machine_hook=None,
+) -> RunOutcome:
+    """The pre-refactor single-loop runner, kept as the reference.
+
+    Drives every thread generator to completion with one private
+    min-heap on ``(core_time, tid)``.  The differential gate runs this
+    against :func:`run_workload` to prove the steppable-shard path is
+    bit-identical in cost counters; it is not used by any entry point.
+    """
+    machine, pm, workload = _build_run(workload, run, prepared, machine_hook)
 
     generators = []
     for tid in range(run.threads):

@@ -264,6 +264,68 @@ class WallClockPass(LintPass):
 
 
 @register_pass
+class SchedEntropyPass(LintPass):
+    rule = "sched-entropy"
+    description = "service layer admits no wall clock or unseeded randomness"
+
+    @classmethod
+    def applicable(cls, ctx: LintContext) -> bool:
+        # The sched package sits above the deterministic simulation core
+        # (so it is not in DETERMINISTIC_PACKAGES), but its whole
+        # contract is replayable scenarios: a schedule or interleaving
+        # that consulted the host would make `repro serve` reports
+        # unreproducible.  All randomness must flow through the seeded
+        # repro.workloads.rng streams and all time must be simulated.
+        parts = os.path.normpath(ctx.path).split(os.sep)
+        if "repro" not in parts:
+            return False
+        tail = parts[parts.index("repro") + 1 :]
+        return bool(tail) and tail[0] == "sched"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in WALL_CLOCK_MODULES:
+                self.add(
+                    node,
+                    f"import of {alias.name!r} in the service layer: "
+                    "schedules and interleavings must be pure functions "
+                    "of the seeded config (use repro.workloads.rng and "
+                    "simulated cycles)",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root in WALL_CLOCK_MODULES:
+                self.add(
+                    node,
+                    f"import from {node.module!r} in the service layer "
+                    "(use repro.workloads.rng and simulated cycles)",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # An RNG constructed without an explicit seed falls back to host
+        # entropy — the one way a seeded import policy can still leak.
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee in ("Random", "SystemRandom", "default_rng") and not (
+            node.args or node.keywords
+        ):
+            self.add(
+                node,
+                f"unseeded {callee}() in the service layer: pass an "
+                "explicit seed (or use repro.workloads.rng.thread_rng)",
+            )
+        self.generic_visit(node)
+
+
+@register_pass
 class StatsCounterPass(LintPass):
     rule = "stats-counter"
     description = "stats writes must target declared MachineStats fields"

@@ -1,0 +1,52 @@
+"""Deterministic service layer: steppable shards + event-loop scheduler.
+
+The execution core used to be one monolithic ``run_workload`` loop that
+drove a single :class:`~repro.sim.machine.Machine` to completion.  This
+package decomposes it into cooperatively steppable pieces:
+
+* :class:`~repro.sched.shard.ShardMachine` — one machine plus its
+  per-thread transaction drivers, exposing ``step(until_cycle)`` /
+  ``inject(request)`` / ``drain()``.  In *batch* mode it drives the
+  classic closed-loop thread bodies with the exact historical
+  core-clock min-heap order (bit-identical cost counters, proven by the
+  differential gate); in *serve* mode its threads pull client requests
+  from a queue, batch them into transactions, and park when idle.
+* :class:`~repro.sched.loop.EventLoopScheduler` — multiplexes N shards
+  against an open-loop arrival schedule, stepping every shard to each
+  arrival instant, admitting or rejecting requests (queue-depth +
+  log-buffer backpressure), and draining everything at the end.
+* :mod:`~repro.sched.traffic` — the seeded open-loop traffic generator:
+  Poisson/uniform/burst arrival schedules over millions of simulated
+  clients, with per-request uniform draws that workloads map through
+  their own (zipfian, hot-key-skewed) distributions.
+* :mod:`~repro.sched.metrics` — enqueue→commit-durable latency
+  percentiles (p50/p99/p999, nearest-rank) and the serve report.
+* :mod:`~repro.sched.replicate` — optional mid-run log shipping: each
+  shard's durable records stream to R replica rings which compact below
+  the cluster-committed frontier while the shard is still being stepped.
+* :mod:`~repro.sched.serve` — ``run_serve``: the end-to-end open-loop
+  scenario behind the ``repro serve`` CLI.
+
+Everything here is deterministic: all randomness flows through the
+seeded :mod:`repro.workloads.rng` streams, and simulated time is the
+only clock (``repro lint`` enforces both via the ``sched-entropy``
+pass).
+"""
+
+from __future__ import annotations
+
+from .loop import AdmissionConfig, EventLoopScheduler
+from .metrics import ServeReport, percentile
+from .shard import ShardMachine
+from .traffic import Request, TrafficConfig, open_loop_schedule
+
+__all__ = [
+    "AdmissionConfig",
+    "EventLoopScheduler",
+    "Request",
+    "ServeReport",
+    "ShardMachine",
+    "TrafficConfig",
+    "open_loop_schedule",
+    "percentile",
+]

@@ -29,6 +29,9 @@ EVENT_KINDS = frozenset(
         # commit (the value the golden model records) — psan compares it
         # against the COMMIT record's actual NVRAM completion.
         "commit_reported",
+        # One client request's transaction became commit-durable (serve
+        # mode; carries enqueue->durable latency attribution).
+        "request_done",
         # FWB scanner pass over the cache tags.
         "fwb_scan",
         # Log wrap-around forced a dirty data line back to NVRAM.

@@ -280,6 +280,20 @@ class Machine:
         """Local clock of ``core_id``."""
         return self.cores[core_id].time
 
+    def advance_core(self, core_id: int, cycle: float) -> float:
+        """Advance ``core_id``'s clock to ``cycle`` if it lags (idle wait).
+
+        Used by the steppable-shard scheduler (:mod:`repro.sched`) when a
+        core that was parked on an empty request queue resumes at a
+        request's arrival instant: the elapsed gap is idle time, not
+        executed instructions, so only the clock moves.  Returns the
+        core's (possibly unchanged) clock.
+        """
+        core = self.cores[core_id]
+        if cycle > core.time:
+            core.time = cycle
+        return core.time
+
     def _flush_wcbs(self, _line_addr: int, now: float) -> float:
         """Drain every core's WCB; returns the last record completion."""
         release = 0.0

@@ -113,6 +113,7 @@ class ThreadAPI:
         self._overlay: dict[int, bytes] = {}
         self._pending_frees: list[tuple[int, int]] = []
         self._local_free: dict[int, list[int]] = {}
+        self._tagged_requests: Optional[list] = None
 
     # ------------------------------------------------------------------
     @property
@@ -189,6 +190,18 @@ class ThreadAPI:
             self._emit_log(placed, "begin")
         return txid
 
+    def tag_requests(self, requests: list) -> None:
+        """Attribute the *next* transaction to a batch of client requests.
+
+        Serve mode (:mod:`repro.sched`) batches client requests into one
+        transaction; tagging before ``tx_begin`` makes the commit
+        attributable: at ``tx_commit`` every tagged request is appended to
+        :attr:`PersistentMemory.request_log` together with the commit's
+        durability time, giving the enqueue→commit-durable latency the
+        service layer reports.  The tag is consumed by the commit.
+        """
+        self._tagged_requests = list(requests)
+
     def tx_commit(self) -> float:
         """Commit; returns the commit's durability time.
 
@@ -212,6 +225,22 @@ class ThreadAPI:
             )
         self._pm.golden.record(durable, self._writes)
         self._pm.golden.finalize(self.tid)
+        if self._tagged_requests is not None:
+            request_log = self._pm.request_log
+            for request in self._tagged_requests:
+                request_log.append((request, durable, self.tid))
+                if tracer is not None:
+                    tracer.emit(
+                        self.now,
+                        "request_done",
+                        self.core_id,
+                        txid=txid,
+                        tid=self.tid,
+                        seq=getattr(request, "seq", None),
+                        arrival=getattr(request, "arrival", None),
+                        durable=durable,
+                    )
+            self._tagged_requests = None
         self._txid = None
         self._writes = {}
         self._write_lines = set()
@@ -475,6 +504,10 @@ class PersistentMemory:
         self.machine = machine
         self.heap = PersistentHeap(machine.heap_base, machine.heap_limit)
         self.golden = GoldenModel()
+        self.request_log: list = []
+        """``(request, commit_durable_time, tid)`` per client request
+        served by a tagged transaction (see :meth:`ThreadAPI.tag_requests`),
+        in commit order — the service layer's latency source."""
         self._txid_counter = 0
 
     def next_txid(self) -> int:

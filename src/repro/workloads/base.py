@@ -19,7 +19,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..errors import AddressError
+from ..errors import AddressError, WorkloadError
 from ..txn.runtime import PersistentMemory, ThreadAPI
 
 
@@ -96,6 +96,11 @@ class Workload(abc.ABC):
     #: with cross-thread coupling or direct heap/NVRAM access must leave
     #: this False and run interpreted.
     trace_compilable: bool = False
+    #: True when the workload's transactions are client-request shaped
+    #: and it implements :meth:`serve_request`, so the service layer
+    #: (:mod:`repro.sched`) can drive it from an open-loop traffic
+    #: generator instead of per-thread closed-loop generators.
+    request_shaped: bool = False
 
     def __init__(self, seed: int = 42, value_kind: str = "int") -> None:
         if value_kind not in ("int", "string"):
@@ -118,7 +123,7 @@ class Workload(abc.ABC):
         self._heap = pm.heap
 
     def reset_run_state(self) -> None:
-        """Reset volatile per-run state before a (re-)run.
+        """Reset volatile per-run state to the post-setup baseline.
 
         A prepared workload instance is run many times — once per sweep
         cell, plus once by the trace compiler.  Anything host-side that
@@ -128,7 +133,48 @@ class Workload(abc.ABC):
         (identical stream per run) silently breaks.  Subclasses with such
         state override this; the harness calls it before every run and
         before trace recording.
+
+        The contract extends to **checkpointable** run state for the
+        steppable-shard scheduler: :meth:`run_state` captures the same
+        volatile state as an immutable value and :meth:`restore_run_state`
+        reinstates it, so N shard machines sharing one prepared workload
+        instance can interleave stepping without leaking cursors across
+        shards (each shard swaps its own checkpoint in around every step
+        window).  The triple must agree: ``reset_run_state()`` followed by
+        ``run_state()`` is the baseline checkpoint, and
+        ``restore_run_state(run_state())`` is an identity.
         """
+
+    def run_state(self) -> tuple:
+        """Checkpoint of the volatile per-run state (see
+        :meth:`reset_run_state`).  Must return an immutable, equality-
+        comparable value; subclasses with volatile state override this
+        together with :meth:`restore_run_state`.  The default is the
+        empty checkpoint for stateless workloads."""
+        return ()
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate a checkpoint captured by :meth:`run_state`."""
+        if state != ():
+            raise WorkloadError(
+                f"{type(self).__name__} has no volatile run state to "
+                f"restore, got checkpoint {state!r}"
+            )
+
+    def serve_request(self, api: ThreadAPI, tid: int, request) -> None:
+        """Execute one client request's operations inside the caller's
+        transaction (request-shaped workloads only).
+
+        ``request`` carries uniform draws (``key_u``, ``op_u``) that the
+        workload maps through its own key-popularity and operation-mix
+        distributions, so the traffic generator stays
+        workload-agnostic.  The caller (a :class:`repro.sched.shard.
+        ShardMachine` serve thread) owns the surrounding transaction and
+        request batching."""
+        raise WorkloadError(
+            f"{type(self).__name__} is not request-shaped; it cannot be "
+            "driven by the open-loop service layer"
+        )
 
     def identity_key(self) -> tuple:
         """Stable identity of this workload's configuration.

@@ -34,7 +34,12 @@ class ZipfGenerator:
 
     def next(self) -> int:
         """Draw one sample (0 is the most popular)."""
-        point = self._rng.random()
+        return self.rank(self._rng.random())
+
+    def rank(self, point: float) -> int:
+        """Rank whose CDF interval contains ``point`` (rng-free inverse
+        CDF) — lets an external uniform draw (e.g. a traffic generator's
+        ``key_u``) be mapped through this distribution deterministically."""
         lo, hi = 0, self._n - 1
         while lo < hi:
             mid = (lo + hi) // 2

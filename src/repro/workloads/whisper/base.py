@@ -123,6 +123,14 @@ class AppendLog:
         """
         self._cursor = [0] * MAX_PARTITIONS
 
+    def snapshot(self) -> tuple:
+        """Immutable cursor checkpoint (see ``Workload.run_state``)."""
+        return tuple(self._cursor)
+
+    def restore(self, state: tuple) -> None:
+        """Reinstate cursors captured by :meth:`snapshot`."""
+        self._cursor = list(state)
+
 
 class LRUList:
     """Doubly-linked LRU list over pre-allocated node slots.

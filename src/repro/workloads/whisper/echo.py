@@ -50,6 +50,14 @@ class EchoKernel(Workload):
         """Rewind the append-log cursors (volatile per-run state)."""
         self._queue.reset()
 
+    def run_state(self) -> tuple:
+        """Checkpoint the queue cursors (see ``Workload.run_state``)."""
+        return self._queue.snapshot()
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate queue cursors captured by :meth:`run_state`."""
+        self._queue.restore(state)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One queue-append + index-update transaction per iteration."""
         part = tid % MAX_PARTITIONS

@@ -54,6 +54,14 @@ class EximKernel(Workload):
         """Rewind the append-log cursors (volatile per-run state)."""
         self._bodies.reset()
 
+    def run_state(self) -> tuple:
+        """Checkpoint the spool cursors (see ``Workload.run_state``)."""
+        return self._bodies.snapshot()
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate spool cursors captured by :meth:`run_state`."""
+        self._bodies.restore(state)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One accept (multi-chunk) or delivery transaction per iteration."""
         part = tid % MAX_PARTITIONS

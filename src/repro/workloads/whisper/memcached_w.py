@@ -24,6 +24,7 @@ class MemcachedKernel(Workload):
     name = "memcached"
     description = "Cache get/set with LRU list splices (WHISPER memcached)."
     trace_compilable = True
+    request_shaped = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048
@@ -47,6 +48,18 @@ class MemcachedKernel(Workload):
             for key in range(1, self.keys_per_partition + 1):
                 self._table.put(acc, part, key, self.make_value(rng, key))
 
+    def _request_ops(self, api, part: int, index: int, is_get: bool, tag: int) -> None:
+        """The transaction interior of one get/set request — shared by
+        the closed-loop thread body and the open-loop serve path so both
+        issue the identical micro-op stream."""
+        api.compute(HASH_COMPUTE)
+        key = index + 1
+        if is_get:
+            self._table.get(api, part, key)
+        else:
+            self._table.put(api, part, key, self.make_value(None, tag))
+        self._lru.move_to_front(api, part, index)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One get/set transaction with an LRU splice per iteration."""
         part = tid % MAX_PARTITIONS
@@ -54,16 +67,19 @@ class MemcachedKernel(Workload):
         zipf = ZipfGenerator(self.keys_per_partition, rng=rng)
         for txn in range(num_txns):
             index = zipf.next()
-            key = index + 1
             is_get = rng.random() < GET_RATIO
             with api.transaction():
-                api.compute(HASH_COMPUTE)
-                if is_get:
-                    self._table.get(api, part, key)
-                else:
-                    self._table.put(api, part, key, self.make_value(rng, txn))
-                self._lru.move_to_front(api, part, index)
+                self._request_ops(api, part, index, is_get, txn)
             yield
+
+    def serve_request(self, api: ThreadAPI, tid: int, request) -> None:
+        """One client request inside the caller's transaction."""
+        if not hasattr(self, "_serve_zipf"):
+            self._serve_zipf = ZipfGenerator(self.keys_per_partition)
+        index = self._serve_zipf.rank(request.key_u)
+        self._request_ops(
+            api, tid % MAX_PARTITIONS, index, request.op_u < GET_RATIO, request.seq
+        )
 
     @property
     def lru(self) -> LRUList:

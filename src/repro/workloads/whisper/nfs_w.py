@@ -68,8 +68,24 @@ class NFSKernel(Workload):
                 self.write_word(acc, addr + _MODE, 0o644)
 
     def reset_run_state(self) -> None:
-        """Rewind the append-log cursors (volatile per-run state)."""
+        """Rewind the append-log cursors and inode rotors (volatile
+        per-run state).  Thread bodies copy ``_next_inode`` into a local
+        today, but the rotor is part of the checkpointable run-state
+        contract so interleaved shard stepping can never leak a creation
+        cursor across requests."""
         self._blocks.reset()
+        self._next_inode = [self.files_per_partition] * MAX_PARTITIONS
+
+    def run_state(self) -> tuple:
+        """Checkpoint block cursors + inode rotors (see
+        ``Workload.run_state``)."""
+        return (self._blocks.snapshot(), tuple(self._next_inode))
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate the checkpoint captured by :meth:`run_state`."""
+        blocks, next_inode = state
+        self._blocks.restore(blocks)
+        self._next_inode = list(next_inode)
 
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One file operation (write/metadata/lookup/create) per iteration."""

@@ -25,6 +25,7 @@ class RedisKernel(Workload):
     name = "redis"
     description = "KV store with append-only-file persistence (WHISPER redis)."
     trace_compilable = True
+    request_shaped = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048
@@ -51,6 +52,25 @@ class RedisKernel(Workload):
         """Rewind the append-log cursors (volatile per-run state)."""
         self._aof.reset()
 
+    def run_state(self) -> tuple:
+        """Checkpoint the AOF cursors (see ``Workload.run_state``)."""
+        return self._aof.snapshot()
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate AOF cursors captured by :meth:`run_state`."""
+        self._aof.restore(state)
+
+    def _request_ops(self, api, part: int, key: int, is_write: bool, tag: int) -> None:
+        """The transaction interior of one command — shared by the
+        closed-loop thread body and the open-loop serve path."""
+        api.compute(COMMAND_COMPUTE)
+        if is_write:
+            record = key.to_bytes(8, "little") + bytes(AOF_RECORD - 8)
+            self._aof.append(api, part, record)
+            self._dict.put(api, part, key, self.make_value(None, tag))
+        else:
+            self._dict.get(api, part, key)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One AOF-append + dictionary update (or read) per iteration."""
         part = tid % MAX_PARTITIONS
@@ -59,11 +79,15 @@ class RedisKernel(Workload):
         for txn in range(num_txns):
             key = zipf.next() + 1
             with api.transaction():
-                api.compute(COMMAND_COMPUTE)
-                if rng.random() < WRITE_RATIO:
-                    record = key.to_bytes(8, "little") + bytes(AOF_RECORD - 8)
-                    self._aof.append(api, part, record)
-                    self._dict.put(api, part, key, self.make_value(rng, txn))
-                else:
-                    self._dict.get(api, part, key)
+                is_write = rng.random() < WRITE_RATIO
+                self._request_ops(api, part, key, is_write, txn)
             yield
+
+    def serve_request(self, api: ThreadAPI, tid: int, request) -> None:
+        """One client command inside the caller's transaction."""
+        if not hasattr(self, "_serve_zipf"):
+            self._serve_zipf = ZipfGenerator(self.keys_per_partition, theta=0.8)
+        key = self._serve_zipf.rank(request.key_u) + 1
+        self._request_ops(
+            api, tid % MAX_PARTITIONS, key, request.op_u < WRITE_RATIO, request.seq
+        )

@@ -63,6 +63,16 @@ class TPCCKernel(Workload):
         self._orders.reset()
         self._lines.reset()
 
+    def run_state(self) -> tuple:
+        """Checkpoint both append cursors (see ``Workload.run_state``)."""
+        return (self._orders.snapshot(), self._lines.snapshot())
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate cursors captured by :meth:`run_state`."""
+        orders, lines = state
+        self._orders.restore(orders)
+        self._lines.restore(lines)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One new-order transaction (5-15 order lines) per iteration."""
         part = tid % MAX_PARTITIONS

@@ -59,6 +59,14 @@ class VacationKernel(Workload):
         """Rewind the append-log cursors (volatile per-run state)."""
         self._reservations.reset()
 
+    def run_state(self) -> tuple:
+        """Checkpoint the reservation cursors (see ``Workload.run_state``)."""
+        return self._reservations.snapshot()
+
+    def restore_run_state(self, state: tuple) -> None:
+        """Reinstate cursors captured by :meth:`run_state`."""
+        self._reservations.restore(state)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One reservation transaction (reads-heavy) per iteration."""
         part = tid % MAX_PARTITIONS

@@ -26,6 +26,7 @@ class YCSBKernel(Workload):
     name = "ycsb"
     description = "Zipfian 50/50 read/update KV mix (WHISPER ycsb)."
     trace_compilable = True
+    request_shaped = True
 
     def __init__(
         self, seed: int = 42, value_kind: str = "int", keys_per_partition: int = 2048
@@ -46,6 +47,15 @@ class YCSBKernel(Workload):
             for key in range(1, self.keys_per_partition + 1):
                 self._table.put(acc, part, key, self.make_value(rng, key))
 
+    def _request_ops(self, api, part: int, key: int, update: bool, tag: int) -> None:
+        """The transaction interior of one read/update — shared by the
+        closed-loop thread body and the open-loop serve path."""
+        api.compute(KEY_COMPUTE)
+        if update:
+            self._table.put(api, part, key, self.make_value(None, tag))
+        else:
+            self._table.get(api, part, key)
+
     def thread_body(self, api: ThreadAPI, tid: int, num_txns: int) -> Iterator[None]:
         """One zipfian read or update transaction per iteration."""
         part = tid % MAX_PARTITIONS
@@ -55,12 +65,17 @@ class YCSBKernel(Workload):
             key = zipf.next() + 1
             update = rng.random() < UPDATE_RATIO
             with api.transaction():
-                api.compute(KEY_COMPUTE)
-                if update:
-                    self._table.put(api, part, key, self.make_value(rng, txn))
-                else:
-                    self._table.get(api, part, key)
+                self._request_ops(api, part, key, update, txn)
             yield
+
+    def serve_request(self, api: ThreadAPI, tid: int, request) -> None:
+        """One client request inside the caller's transaction."""
+        if not hasattr(self, "_serve_zipf"):
+            self._serve_zipf = ZipfGenerator(self.keys_per_partition)
+        key = self._serve_zipf.rank(request.key_u) + 1
+        self._request_ops(
+            api, tid % MAX_PARTITIONS, key, request.op_u < UPDATE_RATIO, request.seq
+        )
 
     @property
     def table(self) -> ProbingTable:

@@ -23,6 +23,8 @@ EXPECTED_SUITES = [
     "compile-replay",
     "pstatic-matrix",
     "ablate-grid",
+    "serve-shard",
+    "serve-traffic",
 ]
 
 # Cheap enough to run twice in a unit test; the expensive sweep suites

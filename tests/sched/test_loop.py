@@ -1,0 +1,105 @@
+"""Event-loop scheduler: admission, checkpoints, config validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.loop import AdmissionConfig, EventLoopScheduler
+from repro.sched.serve import ServeConfig, run_serve
+from repro.sched.traffic import TrafficConfig
+
+
+def test_scheduler_needs_shards():
+    with pytest.raises(ConfigError):
+        EventLoopScheduler([])
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [dict(max_queue_depth=0), dict(log_buffer_limit=0)],
+    ids=lambda kw: next(iter(kw)),
+)
+def test_admission_validation(bad):
+    with pytest.raises(ConfigError):
+        AdmissionConfig(**bad).validate()
+
+
+def test_queue_depth_admission_rejects_under_burst():
+    """A burst far larger than the queue bound must shed load, and
+    offered == admitted + rejected must hold exactly."""
+    report = run_serve(
+        ServeConfig(
+            workload="ycsb",
+            shards=1,
+            threads=1,
+            batch_requests=2,
+            admission=AdmissionConfig(max_queue_depth=4),
+            traffic=TrafficConfig(
+                requests=48, rate=0.05, arrival="burst", burst_size=48, seed=3
+            ),
+        )
+    )
+    assert report.rejected > 0
+    assert report.admitted + report.rejected == report.offered == 48
+    assert report.completed == report.admitted
+
+
+def test_relaxed_admission_admits_everything():
+    report = run_serve(
+        ServeConfig(
+            workload="ycsb",
+            shards=1,
+            threads=1,
+            admission=AdmissionConfig(max_queue_depth=10_000),
+            traffic=TrafficConfig(
+                requests=48, rate=0.05, arrival="burst", burst_size=48, seed=3
+            ),
+        )
+    )
+    assert report.rejected == 0
+    assert report.completed == report.offered == 48
+
+
+def test_checkpoint_sees_nondecreasing_horizons_then_final_none():
+    horizons = []
+    config = ServeConfig(
+        workload="memcached",
+        shards=2,
+        traffic=TrafficConfig(requests=24, rate=0.005, seed=4),
+    )
+    # run_serve wires its own checkpoint only for replication; drive the
+    # scheduler's contract directly through a probe ServeConfig run by
+    # monkeypatching is heavier than just using the scheduler: reuse the
+    # serve entry but with a replicator-free scheduler via the public
+    # pieces.
+    from repro.sched.loop import EventLoopScheduler as Scheduler
+
+    calls = []
+
+    class _Probe:
+        shard_id = 0
+
+        def step(self, until_cycle):
+            return 0
+
+        def queue_depth(self):
+            return 0
+
+        def log_occupancy(self):
+            return 0
+
+        def inject(self, request):
+            calls.append(request.seq)
+
+        def drain(self):
+            pass
+
+    from repro.sched.traffic import open_loop_schedule
+
+    schedule = open_loop_schedule(config.traffic, 1)
+    scheduler = Scheduler([_Probe()], checkpoint=horizons.append)
+    scheduler.run_open_loop(schedule)
+    assert horizons[-1] is None
+    seen = [h for h in horizons if h is not None]
+    assert seen == sorted(seen) and len(seen) == len(schedule)
+    assert calls == [request.seq for request in schedule]
+    assert len(scheduler.admitted) == len(schedule)

@@ -1,0 +1,159 @@
+"""End-to-end serve scenarios: determinism, replication, psan, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sanitizer.checker import PersistOrderChecker
+from repro.sched.serve import ServeConfig, run_serve
+from repro.sched.traffic import TrafficConfig
+
+
+def _config(**overrides):
+    base = dict(
+        workload="memcached",
+        shards=2,
+        threads=2,
+        traffic=TrafficConfig(requests=40, rate=0.004, seed=6),
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestDeterminism:
+    def test_identical_configs_yield_identical_reports(self):
+        first = run_serve(_config())
+        second = run_serve(_config())
+        assert first.digest() == second.digest()
+        assert first.to_dict() == second.to_dict()
+
+    def test_all_request_shaped_kernels_complete(self):
+        for workload in ("memcached", "redis", "ycsb"):
+            report = run_serve(
+                _config(
+                    workload=workload,
+                    shards=1,
+                    traffic=TrafficConfig(requests=24, rate=0.004, seed=6),
+                )
+            )
+            assert report.completed == report.admitted == 24
+            assert report.p50 > 0 and report.p999 >= report.p99 >= report.p50
+
+    def test_seed_changes_the_report(self):
+        first = run_serve(_config())
+        second = run_serve(
+            _config(traffic=TrafficConfig(requests=40, rate=0.004, seed=7))
+        )
+        assert first.digest() != second.digest()
+
+
+class TestLatencyAttribution:
+    def test_latency_covers_queueing_not_just_service(self):
+        """Under a hard burst, later requests in the queue must report
+        larger enqueue->durable latency than the first ones — the
+        client-visible number includes queueing delay."""
+        report = run_serve(
+            ServeConfig(
+                workload="ycsb",
+                shards=1,
+                threads=1,
+                batch_requests=1,
+                traffic=TrafficConfig(
+                    requests=16, rate=0.05, arrival="burst", burst_size=16, seed=2
+                ),
+            )
+        )
+        assert report.completed == 16
+        assert report.p999 > 2 * report.p50
+
+
+class TestReplication:
+    def test_rings_compact_mid_run_and_stay_bounded(self):
+        report = run_serve(
+            ServeConfig(
+                workload="redis",
+                shards=1,
+                threads=2,
+                replicas=2,
+                ring_records=64,
+                traffic=TrafficConfig(requests=60, rate=0.004, seed=3),
+            )
+        )
+        rep = report.replication
+        assert rep["replicas"] == 2
+        assert rep["compactions"] > 0
+        assert rep["records_compacted"] > 0
+        for shard in rep["per_shard"]:
+            # Post-run occupancy must be below the ring size: compaction
+            # kept the standby bounded while records kept arriving.
+            assert all(occ <= 64 for occ in shard["ring_occupancy"])
+            assert all(base > 0 for base in shard["base_seqs"])
+            assert shard["committed_frontier"] > 0
+
+    def test_replication_is_deterministic(self):
+        def go():
+            return run_serve(
+                ServeConfig(
+                    workload="redis",
+                    shards=1,
+                    replicas=1,
+                    ring_records=64,
+                    traffic=TrafficConfig(requests=40, rate=0.004, seed=3),
+                )
+            )
+
+        assert go().digest() == go().digest()
+
+
+class TestGuards:
+    def test_non_request_shaped_kernel_rejected(self):
+        with pytest.raises(ConfigError, match="request-shaped"):
+            run_serve(_config(workload="ctree"))
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ConfigError):
+            run_serve(_config(shards=0))
+
+
+class TestPsanOnServeStreams:
+    def test_scheduler_produced_streams_are_clean(self):
+        """Attach the persistency-ordering sanitizer to every shard
+        machine: the serve path's interleaved, request-batched
+        transactions must satisfy the same ordering rules as the batch
+        path under a guaranteed design."""
+        checkers = {}
+
+        def hook(shard_id, machine):
+            checkers[shard_id] = PersistOrderChecker.attach(machine)
+
+        report = run_serve(
+            _config(traffic=TrafficConfig(requests=30, rate=0.004, seed=6)),
+            machine_hook=hook,
+        )
+        assert report.completed == 30
+        assert len(checkers) == 2
+        for shard_id, checker in checkers.items():
+            psan_report = checker.finish()
+            assert psan_report.clean, (shard_id, psan_report.render())
+
+
+class TestCli:
+    def test_serve_command_writes_reports(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        md = tmp_path / "serve.md"
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve", "--workload", "memcached", "--shards", "1",
+                "--requests", "16", "--markdown", str(md), "--json", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "p99" in text and "throughput" in text
+        assert "p99 latency" in md.read_text()
+        payload = json.loads(out.read_text())
+        assert payload["offered"] == 16
+        assert payload["completed"] == payload["admitted"]

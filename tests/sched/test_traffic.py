@@ -1,0 +1,94 @@
+"""Open-loop traffic generator: determinism, arrival shapes, routing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.traffic import Request, TrafficConfig, open_loop_schedule
+
+
+def test_schedule_is_deterministic():
+    config = TrafficConfig(requests=200, rate=0.01, seed=9)
+    assert open_loop_schedule(config, 4) == open_loop_schedule(config, 4)
+
+
+def test_different_seeds_differ():
+    a = open_loop_schedule(TrafficConfig(requests=50, seed=1), 2)
+    b = open_loop_schedule(TrafficConfig(requests=50, seed=2), 2)
+    assert a != b
+
+
+def test_arrivals_are_nondecreasing_and_seqs_contiguous():
+    schedule = open_loop_schedule(TrafficConfig(requests=300, rate=0.05), 3)
+    assert [r.seq for r in schedule] == list(range(300))
+    for before, after in zip(schedule, schedule[1:]):
+        assert after.arrival >= before.arrival
+
+
+def test_uniform_gaps_are_exact():
+    schedule = open_loop_schedule(
+        TrafficConfig(requests=10, rate=0.01, arrival="uniform"), 1
+    )
+    gaps = {
+        round(after.arrival - before.arrival, 9)
+        for before, after in zip(schedule, schedule[1:])
+    }
+    assert gaps == {100.0}
+
+
+def test_burst_groups_share_one_instant():
+    config = TrafficConfig(requests=64, rate=0.01, arrival="burst", burst_size=16)
+    schedule = open_loop_schedule(config, 2)
+    instants = sorted({r.arrival for r in schedule})
+    assert len(instants) == 64 // 16
+    for instant in instants:
+        assert sum(1 for r in schedule if r.arrival == instant) == 16
+
+
+def test_poisson_mean_gap_tracks_rate():
+    config = TrafficConfig(requests=2000, rate=0.01, seed=5)
+    schedule = open_loop_schedule(config, 1)
+    mean_gap = schedule[-1].arrival / len(schedule)
+    assert 80.0 < mean_gap < 125.0  # 1/rate = 100, generous CI
+
+
+def test_clients_pin_to_shards():
+    schedule = open_loop_schedule(TrafficConfig(requests=100, clients=17), 4)
+    by_client: dict = {}
+    for request in schedule:
+        assert request.shard == request.client % 4
+        by_client.setdefault(request.client, set()).add(request.shard)
+    assert all(len(shards) == 1 for shards in by_client.values())
+
+
+def test_uniform_draws_in_range():
+    for request in open_loop_schedule(TrafficConfig(requests=50), 1):
+        assert 0.0 <= request.key_u < 1.0
+        assert 0.0 <= request.op_u < 1.0
+
+
+def test_requests_are_frozen():
+    request = open_loop_schedule(TrafficConfig(requests=1), 1)[0]
+    with pytest.raises(AttributeError):
+        request.arrival = 0.0
+    assert isinstance(request, Request)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(requests=-1),
+        dict(rate=0.0),
+        dict(arrival="pareto"),
+        dict(burst_size=0),
+        dict(clients=0),
+    ],
+    ids=lambda kw: next(iter(kw)),
+)
+def test_validation_rejects(bad):
+    with pytest.raises(ConfigError):
+        open_loop_schedule(TrafficConfig(**bad), 1)
+
+
+def test_zero_shards_rejected():
+    with pytest.raises(ConfigError):
+        open_loop_schedule(TrafficConfig(requests=1), 0)

@@ -44,6 +44,37 @@ class TestWallClock:
         assert run(tmp_path, "repro/workloads/x.py", body) == []
 
 
+class TestSchedEntropy:
+    def test_random_import_in_sched_fires(self, tmp_path):
+        findings = run(tmp_path, "repro/sched/x.py", "import random\n")
+        assert [f.rule for f in findings] == ["sched-entropy"]
+
+    def test_time_from_import_fires(self, tmp_path):
+        findings = run(
+            tmp_path, "repro/sched/x.py", "from time import monotonic\n"
+        )
+        assert [f.rule for f in findings] == ["sched-entropy"]
+
+    def test_unseeded_rng_constructor_fires(self, tmp_path):
+        body = "def f(Random):\n    return Random()\n"
+        findings = run(tmp_path, "repro/sched/x.py", body)
+        assert [f.rule for f in findings] == ["sched-entropy"]
+        assert "unseeded" in findings[0].message
+
+    def test_seeded_rng_constructor_is_clean(self, tmp_path):
+        body = "def f(Random):\n    return Random(42)\n"
+        assert run(tmp_path, "repro/sched/x.py", body) == []
+
+    def test_thread_rng_import_is_clean(self, tmp_path):
+        body = "from ..workloads.rng import thread_rng\n"
+        assert run(tmp_path, "repro/sched/x.py", body) == []
+
+    def test_non_sched_paths_exempt(self, tmp_path):
+        # The harness layer may use real time; sched-entropy must not
+        # reach outside repro/sched.
+        assert run(tmp_path, "repro/harness/x.py", "import time\n") == []
+
+
 class TestStatsCounter:
     def test_undeclared_counter_fires(self, tmp_path):
         body = "def f(m):\n    m.stats.typo_counter += 1\n"
@@ -150,6 +181,7 @@ class TestPassFramework:
 
         assert set(PASSES) >= {
             "wall-clock", "stats-counter", "float-eq", "event-kind",
+            "sched-entropy",
         }
         for rule, cls in PASSES.items():
             assert cls.rule == rule
