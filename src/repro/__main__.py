@@ -644,11 +644,23 @@ def _cmd_lifetime(_args) -> int:
     return 0
 
 
+def _load_policy_table(args):
+    """The policy table ``--adaptive`` / ``--policy-table`` selects."""
+    from .adapt import PolicyTable, default_policy_table
+
+    if getattr(args, "policy_table", None):
+        return PolicyTable.load(args.policy_table)
+    return default_policy_table()
+
+
 def _cmd_serve(args) -> int:
     from .sched.loop import AdmissionConfig
     from .sched.serve import ServeConfig, run_serve
     from .sched.traffic import TrafficConfig
 
+    table = None
+    if args.adaptive or args.policy_table:
+        table = _load_policy_table(args)
     config = ServeConfig(
         workload=args.workload,
         policy=args.design,
@@ -667,6 +679,8 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         replicas=args.replicas,
         ring_records=args.ring_records,
+        policy_table=table,
+        adapt_window_txns=args.adapt_window,
     )
     report = run_serve(config)
     print(report.render())
@@ -682,6 +696,121 @@ def _cmd_serve(args) -> int:
             handle.write("\n")
         print(f"json report written to {args.json}")
     return 0
+
+
+def _cmd_adapt_train(args) -> int:
+    from .adapt import DriftConfig, train_policy_table
+
+    cache = _sweep_cache(args)
+    kwargs = dict(
+        threads=args.threads,
+        txns_per_thread=args.txns,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    if args.specs:
+        kwargs["specs"] = tuple(s.strip() for s in args.specs.split(","))
+    if args.benchmarks:
+        table = train_policy_table(
+            benchmarks=tuple(args.benchmarks.split(",")), **kwargs
+        )
+    else:
+        table = train_policy_table(phases=DriftConfig().phases, **kwargs)
+    table.save(args.out)
+    units = table.trained_on.get("units", [])
+    print(
+        f"adapt train: {table.trained_on.get('mode')} mode, "
+        f"{len(units)} unit(s), candidates "
+        f"{','.join(table.trained_on.get('candidates', ()))}"
+    )
+    for unit in units:
+        cycles = unit["cycles"]
+        print(
+            f"  {unit['label']:10s} best {unit['best']:24s} "
+            + " ".join(f"{k}={v:.1f}" for k, v in sorted(cycles.items()))
+        )
+    for rule in table.rules:
+        conds = ", ".join(f"{k} >= {v:.4f}" if k.endswith("_min") else
+                          f"{k[:-4]} <= {v:.4f}" for k, v in rule.when)
+        print(f"  rule: {conds} -> {rule.spec.mechanism_string()}")
+    print(
+        f"  default: "
+        f"{'hold' if table.default is None else table.default.mechanism_string()}"
+        + (
+            f", start: {table.start.mechanism_string()}"
+            if table.start is not None
+            else ""
+        )
+    )
+    print(f"policy table written to {args.out}")
+    _report_cache(cache)
+    return 0
+
+
+def _cmd_adapt_run(args) -> int:
+    import json
+
+    from .adapt import DriftConfig, compare_drift
+
+    table = _load_policy_table(args)
+    config = DriftConfig(
+        threads=args.threads,
+        seed=args.seed,
+        window_txns=args.window,
+    )
+    result = compare_drift(config, table=table)
+    adaptive = result["adaptive"]
+    print(
+        f"adapt run: drift scenario "
+        f"({' + '.join(str(p['requests']) for p in adaptive['phases'])} "
+        f"requests), window {args.window} txns"
+    )
+    rows = [("adaptive", adaptive)] + sorted(result["static"].items())
+    width = max(len(name) for name, _report in rows)
+    print(f"  {'design':{width}s} {'cycles':>12s} {'switches':>8s} "
+          f"{'wrap-forces':>11s} {'clwbs':>8s}")
+    for name, report in rows:
+        counters = report["counters"]
+        print(
+            f"  {name:{width}s} {report['total_cycles']:12.1f} "
+            f"{counters['design_switches']:8d} "
+            f"{counters['log_wrap_forced_writebacks']:11d} "
+            f"{counters['clwb_count']:8d}"
+        )
+    for decision in adaptive.get("adaptation", {}).get("decisions", ()):
+        print(
+            f"  decision @{decision.get('cycle', 0.0):.0f}: "
+            f"{decision.get('from')} -> {decision.get('to')} "
+            f"({decision.get('outcome')}, wrap_pressure "
+            f"{decision.get('features', {}).get('wrap_pressure', 0.0):.2f})"
+        )
+    print(
+        f"  best static: {result['best_static']} "
+        f"({result['best_static_cycles']:.1f} cycles); adaptive "
+        f"{'WINS' if result['adaptive_wins'] else 'LOSES'} "
+        f"(margin {result['margin'] * 100:.2f}%)"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json report written to {args.json}")
+    return 0 if result["adaptive_wins"] else 1
+
+
+def _cmd_adapt_faults(args) -> int:
+    from .adapt import run_switch_campaign
+
+    result = run_switch_campaign(
+        workload=args.workload,
+        txns_per_thread=args.txns,
+        threads=args.threads,
+        seed=args.seed,
+        progress=print if args.verbose else None,
+    )
+    print(result.rendered)
+    return 0 if result.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -886,8 +1015,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--design",
-        default="fwb",
-        help="design spec to run every shard under (default: fwb)",
+        default=None,
+        help="design spec to run every shard under (default: fwb, or the "
+        "policy table's start design in adaptive mode)",
+    )
+    serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable the adaptive controller (built-in policy table "
+        "unless --policy-table names one); shards may safe-switch "
+        "designs mid-run",
+    )
+    serve.add_argument(
+        "--policy-table",
+        metavar="FILE",
+        default=None,
+        help="repro-adapt/v1 JSON policy table (implies --adaptive)",
+    )
+    serve.add_argument(
+        "--adapt-window",
+        type=int,
+        default=16,
+        help="committed transactions per controller decision window "
+        "(default: 16)",
     )
     serve.add_argument("--shards", type=int, default=1)
     serve.add_argument("--threads", type=int, default=2, help="threads per shard")
@@ -1041,6 +1191,84 @@ def build_parser() -> argparse.ArgumentParser:
     from .bench.cli import add_bench_parser
 
     add_bench_parser(sub)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="adaptive logging policy: train tables, run drift scenarios, "
+        "crash the switch barrier",
+    )
+    adapt_sub = adapt.add_subparsers(dest="adapt_command", required=True)
+    train = adapt_sub.add_parser(
+        "train",
+        help="grid the writeback family per workload phase (sweep engine "
+        "as oracle) and write a repro-adapt/v1 policy table",
+    )
+    train.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="A,B",
+        help="train one unit per named benchmark kernel instead of the "
+        "default drift phases (e.g. hash,sps)",
+    )
+    train.add_argument(
+        "--specs",
+        default=None,
+        metavar="S1,S2",
+        help="candidate designs (default: the legal writeback family "
+        "nowb,clwb,fwb under hw+undo+redo)",
+    )
+    train.add_argument("--threads", type=int, default=2)
+    train.add_argument(
+        "--txns", type=int, default=160, help="transactions per thread per cell"
+    )
+    train.add_argument("--seed", type=int, default=42)
+    train.add_argument(
+        "--out",
+        default="policy_table.json",
+        metavar="FILE",
+        help="where the policy table JSON lands (default: policy_table.json)",
+    )
+    _sweep_flags(train, psan=False)
+    train.set_defaults(fn=_cmd_adapt_train)
+    adapt_run = adapt_sub.add_parser(
+        "run",
+        help="drive the drift scenario adaptively and race every legal "
+        "static design; exits non-zero unless adaptive wins",
+    )
+    adapt_run.add_argument(
+        "--table",
+        dest="policy_table",
+        default=None,
+        metavar="FILE",
+        help="repro-adapt/v1 policy table (default: the built-in table)",
+    )
+    adapt_run.add_argument("--threads", type=int, default=2)
+    adapt_run.add_argument("--seed", type=int, default=42)
+    adapt_run.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="controller observation window in committed txns (default: 4)",
+    )
+    adapt_run.add_argument(
+        "--json", default=None, metavar="FILE", help="dump the full comparison"
+    )
+    adapt_run.set_defaults(fn=_cmd_adapt_run)
+    adapt_faults = adapt_sub.add_parser(
+        "faults",
+        help="crash-point campaign at the switch barrier: recovery must "
+        "converge under both the pre- and post-switch spec",
+    )
+    adapt_faults.add_argument(
+        "--workload", default="hash", help="campaign kernel (default: hash)"
+    )
+    adapt_faults.add_argument("--threads", type=int, default=2)
+    adapt_faults.add_argument(
+        "--txns", type=int, default=24, help="transactions per thread"
+    )
+    adapt_faults.add_argument("--seed", type=int, default=7)
+    adapt_faults.add_argument("--verbose", action="store_true")
+    adapt_faults.set_defaults(fn=_cmd_adapt_faults)
 
     cache_cmd = sub.add_parser(
         "cache", help="sweep result-cache maintenance (.repro_cache)"

@@ -1,0 +1,120 @@
+"""Per-window workload features the controller decides on.
+
+Everything here is derived from counters the simulator already maintains
+(:class:`~repro.sim.stats.MachineStats`): no new instrumentation, no
+wall-clock, no randomness — a feature window is a pure function of two
+stats snapshots, so the controller's decisions are as deterministic as
+the simulation itself.
+
+The four features mirror ROADMAP open item 1:
+
+========================  ====================================================
+feature                   definition (per decision window)
+========================  ====================================================
+``write_intensity``       NVRAM bytes written per cycle
+``txn_size``              log records appended per committed transaction
+``wrap_pressure``         log-wrap forced write-backs per committed transaction
+``miss_rate``             LLC misses per L1 access
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Feature names, in the stable order reports and tables use.
+FEATURE_NAMES = ("write_intensity", "txn_size", "wrap_pressure", "miss_rate")
+
+#: The raw counters a feature window is computed from.
+_PROBE_COUNTERS = (
+    "cycles_now",
+    "transactions_committed",
+    "nvram_write_bytes",
+    "log_records",
+    "log_wrap_forced_writebacks",
+    "llc_misses",
+    "l1_hits",
+    "l1_misses",
+)
+
+
+@dataclass(frozen=True)
+class WindowFeatures:
+    """One decision window's feature vector."""
+
+    write_intensity: float
+    txn_size: float
+    wrap_pressure: float
+    miss_rate: float
+    transactions: int
+    """Committed transactions inside the window (the window length)."""
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping in :data:`FEATURE_NAMES` order."""
+        table = {name: getattr(self, name) for name in FEATURE_NAMES}
+        table["transactions"] = self.transactions
+        return table
+
+
+def feature_probe(stats, now: Optional[float] = None) -> dict:
+    """Snapshot the counters a feature window needs.
+
+    ``stats.cycles`` is only final after ``finalize()``; live probes pass
+    the scheduler horizon (or read the stats field for finished runs).
+    """
+    return {
+        "cycles_now": stats.cycles if now is None else now,
+        "transactions_committed": stats.transactions_committed,
+        "nvram_write_bytes": stats.nvram_write_bytes,
+        "log_records": stats.log_records,
+        "log_wrap_forced_writebacks": stats.log_wrap_forced_writebacks,
+        "llc_misses": stats.llc_misses,
+        "l1_hits": stats.l1_hits,
+        "l1_misses": stats.l1_misses,
+    }
+
+
+def window_features(prev: dict, cur: dict) -> WindowFeatures:
+    """The feature vector for the window between two probes."""
+    txns = cur["transactions_committed"] - prev["transactions_committed"]
+    cycles = max(cur["cycles_now"] - prev["cycles_now"], 0.0)
+    accesses = (cur["l1_hits"] + cur["l1_misses"]) - (
+        prev["l1_hits"] + prev["l1_misses"]
+    )
+    return WindowFeatures(
+        write_intensity=(
+            (cur["nvram_write_bytes"] - prev["nvram_write_bytes"]) / cycles
+            if cycles > 0
+            else 0.0
+        ),
+        txn_size=(
+            (cur["log_records"] - prev["log_records"]) / txns if txns > 0 else 0.0
+        ),
+        wrap_pressure=(
+            (
+                cur["log_wrap_forced_writebacks"]
+                - prev["log_wrap_forced_writebacks"]
+            )
+            / txns
+            if txns > 0
+            else 0.0
+        ),
+        miss_rate=(
+            (cur["llc_misses"] - prev["llc_misses"]) / accesses
+            if accesses > 0
+            else 0.0
+        ),
+        transactions=txns,
+    )
+
+
+def run_features(stats) -> WindowFeatures:
+    """Whole-run features of a finished cell (the trainer's phase probe).
+
+    The window is the entire run: the zero probe as ``prev`` and the
+    finalized stats as ``cur``.
+    """
+    zero = {name: 0 for name in _PROBE_COUNTERS}
+    zero["cycles_now"] = 0.0
+    return window_features(zero, feature_probe(stats))

@@ -1,0 +1,193 @@
+"""The versioned feature→spec decision table (``repro-adapt/v1``).
+
+A policy table is an *ordered* rule list over the feature vector of
+:mod:`repro.adapt.features`: the first rule whose conditions all hold
+names the target :class:`~repro.core.design.DesignSpec`; when nothing
+matches the table either holds the current design (``default: "hold"``,
+the hysteresis-friendly choice) or names a fallback spec.  Conditions
+are closed half-lines — ``<feature>_min`` / ``<feature>_max`` keys — so
+a trained table serializes to plain JSON and round-trips exactly:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-adapt/v1",
+      "workload": "ycsb-drift",
+      "rules": [
+        {"when": {"wrap_pressure_min": 0.5}, "spec": "hw+undo+redo+clwb"}
+      ],
+      "default": "hold"
+    }
+
+Tables are written by :mod:`repro.adapt.train` and consumed by
+:class:`repro.adapt.controller.AdaptiveController` (``repro serve
+--adaptive`` / ``repro adapt run``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.design import DesignSpec, resolve_design
+from ..errors import ConfigError
+from .features import FEATURE_NAMES, WindowFeatures
+
+SCHEMA = "repro-adapt/v1"
+
+#: Sentinel default: keep the currently active design when no rule matches.
+HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One ordered rule: conditions over features, and a target spec."""
+
+    when: Tuple[Tuple[str, float], ...]
+    """Sorted ``(condition, threshold)`` pairs; a condition is
+    ``<feature>_min`` (feature >= threshold) or ``<feature>_max``
+    (feature <= threshold)."""
+    spec: DesignSpec
+
+    def matches(self, features: WindowFeatures) -> bool:
+        """True when every condition holds for ``features``."""
+        for condition, threshold in self.when:
+            if condition.endswith("_min"):
+                if getattr(features, condition[:-4]) < threshold:
+                    return False
+            else:
+                if getattr(features, condition[:-4]) > threshold:
+                    return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {"when": dict(self.when), "spec": self.spec.mechanism_string()}
+
+
+def _check_condition(condition: str) -> None:
+    if not (condition.endswith("_min") or condition.endswith("_max")):
+        raise ConfigError(
+            f"policy-rule condition {condition!r} must end in _min or _max"
+        )
+    if condition[:-4] not in FEATURE_NAMES:
+        raise ConfigError(
+            f"policy-rule condition {condition!r} names no feature "
+            f"(features: {', '.join(FEATURE_NAMES)})"
+        )
+
+
+def make_rule(when: dict, spec) -> PolicyRule:
+    """Build a rule from a plain conditions mapping and a design name."""
+    for condition in when:
+        _check_condition(condition)
+    return PolicyRule(
+        when=tuple(sorted((str(k), float(v)) for k, v in when.items())),
+        spec=resolve_design(spec),
+    )
+
+
+@dataclass
+class PolicyTable:
+    """An ordered feature→spec lookup table."""
+
+    rules: Tuple[PolicyRule, ...] = ()
+    default: Optional[DesignSpec] = None
+    """Spec when no rule matches; None means hold the current design."""
+    start: Optional[DesignSpec] = None
+    """Recommended initial design (the trainer's cheapest steady-state
+    band); consumers seed adaptive runs with it when the caller has no
+    opinion."""
+    workload: str = ""
+    trained_on: dict = field(default_factory=dict)
+    """Provenance (phases, specs gridded, oracle settings) — purely
+    informational, round-tripped through JSON untouched."""
+
+    def decide(self, features: WindowFeatures, current: DesignSpec) -> DesignSpec:
+        """The target design for one feature window."""
+        for rule in self.rules:
+            if rule.matches(features):
+                return rule.spec
+        return self.default if self.default is not None else current
+
+    def specs(self) -> list:
+        """Every design the table can name, rules first, in table order."""
+        out = []
+        for rule in self.rules:
+            if rule.spec not in out:
+                out.append(rule.spec)
+        if self.default is not None and self.default not in out:
+            out.append(self.default)
+        if self.start is not None and self.start not in out:
+            out.append(self.start)
+        return out
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {
+            "schema": SCHEMA,
+            "workload": self.workload,
+            "trained_on": self.trained_on,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "default": (
+                HOLD if self.default is None else self.default.mechanism_string()
+            ),
+        }
+        if self.start is not None:
+            out["start"] = self.start.mechanism_string()
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyTable":
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ConfigError(
+                f"policy table schema {schema!r} is not {SCHEMA!r}; "
+                "re-train with 'repro adapt train'"
+            )
+        default = data.get("default", HOLD)
+        start = data.get("start")
+        return cls(
+            rules=tuple(
+                make_rule(entry["when"], entry["spec"]) for entry in data["rules"]
+            ),
+            default=None if default == HOLD else resolve_design(default),
+            start=None if start is None else resolve_design(start),
+            workload=data.get("workload", ""),
+            trained_on=data.get("trained_on", {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PolicyTable":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w") as out:
+            out.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "PolicyTable":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def default_policy_table() -> PolicyTable:
+    """The built-in table for the ``hw+undo+redo`` write-back family.
+
+    Log-wrap pressure is the one feature that directly prices the
+    ``nowb`` discipline (forced write-backs stall the log append path):
+    a window with >= 1 forced write-back per two transactions switches
+    to ``clwb``; otherwise the current design holds, which gives the
+    cheap ``nowb`` discipline to quiet phases and avoids flip-flopping
+    once ``clwb`` has cleaned the wrap pressure away.
+    """
+    return PolicyTable(
+        rules=(make_rule({"wrap_pressure_min": 0.5}, "hw+undo+redo+clwb"),),
+        default=None,
+        workload="builtin",
+    )

@@ -27,6 +27,14 @@ Each suite exercises one performance-critical path of the system:
     stream into a column trace (paid once per (workload, threads)), and
     replaying that trace across all eight canonical designs (paid per
     sweep cell — the phase the engine optimises).
+``adapt-decide``
+    The adaptive controller's decision path in isolation: per-window
+    feature extraction from counter probes plus first-match policy-table
+    lookup — the work every scheduler checkpoint pays in adaptive mode.
+``adapt-switch``
+    The safe-switch epoch barrier itself: a closed-loop run that cycles
+    the write-back policy mid-run, so WCB drain, log-FIFO settling and
+    the dirty-line force are all on the timed path.
 ``pstatic-matrix``
     The static persistency verifier against the dynamic checker over
     the same canonical-design matrix: one symbolic column walk per
@@ -483,3 +491,127 @@ def serve_traffic(quick: bool, timer: BenchTimer) -> dict:
     counters["ring_compactions"] = report.replication["compactions"]
     counters["records_compacted"] = report.replication["records_compacted"]
     return counters
+
+
+@register("adapt-decide", "adaptive controller: feature windows + policy-table lookup")
+def adapt_decide(quick: bool, timer: BenchTimer) -> dict:
+    from ..adapt.features import feature_probe, window_features
+    from ..adapt.table import default_policy_table, make_rule, PolicyTable
+    from ..core.design import resolve_design
+    from ..sim.stats import MachineStats
+
+    windows = 2_000 if quick else 10_000
+    tables = [
+        default_policy_table(),
+        PolicyTable(
+            rules=(
+                make_rule({"wrap_pressure_min": 0.6}, "hw+undo+redo+fwb"),
+                make_rule({"write_intensity_min": 2.5}, "hw+undo+redo+clwb"),
+                make_rule(
+                    {"txn_size_max": 3.0, "miss_rate_max": 0.2},
+                    "hw+undo+redo+nowb",
+                ),
+            ),
+            default=None,
+        ),
+    ]
+    start = resolve_design("hw+undo+redo+nowb")
+    # A synthetic but exactly reproducible counter stream: each window's
+    # probe deltas are fixed arithmetic functions of the window index,
+    # sweeping every feature through its decision thresholds.
+    stats = MachineStats()
+    prev = feature_probe(stats, now=0.0)
+    switches = [0] * len(tables)
+    matched = 0
+    with timer.timed():
+        for index in range(1, windows + 1):
+            stats.transactions_committed += 8
+            stats.nvram_write_bytes += 256 + (index % 97) * 32
+            stats.log_records += 16 + (index % 13)
+            stats.log_wrap_forced_writebacks += (index % 11) // 9
+            stats.llc_misses += (index % 29)
+            stats.l1_hits += 900
+            stats.l1_misses += 40 + (index % 37)
+            cur = feature_probe(stats, now=float(index) * 128.0)
+            features = window_features(prev, cur)
+            prev = cur
+            for pos, table in enumerate(tables):
+                current = start
+                target = table.decide(features, current)
+                if target != current:
+                    switches[pos] += 1
+                    matched += 1
+    return {
+        "windows": windows,
+        "tables": len(tables),
+        "decisions": windows * len(tables),
+        "matched": matched,
+        "builtin_switches": switches[0],
+        "trained_switches": switches[1],
+    }
+
+
+@register("adapt-switch", "safe-switch epoch barrier: drain + force + swap, mid-run")
+def adapt_switch(quick: bool, timer: BenchTimer) -> dict:
+    import heapq
+
+    from ..core.design import resolve_design
+    from ..faults.campaign import campaign_workload
+    from ..harness.runner import prepare_workload
+
+    cycle_specs = [
+        resolve_design(name)
+        for name in (
+            "hw+undo+redo+clwb",
+            "hw+undo+redo+fwb",
+            "hw+undo+redo+nowb",
+        )
+    ]
+    threads = 2
+    txns_per_thread = 24 if quick else 96
+    total = threads * txns_per_thread
+    # One switch per quarter of the run, cycling through the family.
+    thresholds = [total // 4, total // 2, (3 * total) // 4]
+    system = _tiny_system(logging=LoggingConfig(log_entries=256))
+    workload = campaign_workload("hash", 7)
+    prepared = prepare_workload(workload, system)
+    machine = Machine(system, resolve_design("hw+undo+redo+nowb"))
+    pm = PersistentMemory(machine)
+    prepared.restore_into(machine)
+    pm.heap.restore(prepared.heap_state)
+    prepared.workload.attach(pm)
+    apis = [pm.api(core_id=tid, tid=tid) for tid in range(threads)]
+    generators = [
+        prepared.workload.thread_body(apis[tid], tid, txns_per_thread)
+        for tid in range(threads)
+    ]
+    with timer.timed():
+        ready = [(machine.core_time(tid), tid) for tid in range(threads)]
+        heapq.heapify(ready)
+        pending = list(zip(thresholds, cycle_specs))
+        while ready:
+            if (
+                pending
+                and machine.stats.transactions_committed >= pending[0][0]
+            ):
+                machine.switch_design(pending.pop(0)[1])
+                for api in apis:
+                    api.refresh_policy()
+            _, tid = heapq.heappop(ready)
+            try:
+                next(generators[tid])
+            except StopIteration:
+                continue
+            heapq.heappush(ready, (machine.core_time(tid), tid))
+        stats = machine.finalize()
+    return {
+        "design_switches": stats.design_switches,
+        "switch_barrier_cycles": int(round(stats.switch_barrier_cycles)),
+        "cycles": int(round(stats.cycles)),
+        "transactions_committed": stats.transactions_committed,
+        "log_records": stats.log_records,
+        "log_wrap_forced_writebacks": stats.log_wrap_forced_writebacks,
+        "clwb_count": stats.clwb_count,
+        "fwb_writebacks": stats.fwb_writebacks,
+        "nvram_writes": stats.nvram_writes,
+    }

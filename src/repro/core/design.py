@@ -501,6 +501,74 @@ def resolve_design(obj) -> DesignSpec:
     raise TypeError(f"cannot resolve {obj!r} into a DesignSpec")
 
 
+# ----------------------------------------------------------------------
+# Mid-run switch legality (repro.adapt)
+# ----------------------------------------------------------------------
+def switch_transition_error(old: DesignSpec, new: DesignSpec):
+    """Why switching a live machine from ``old`` to ``new`` is illegal
+    (None when the transition is legal).
+
+    A mid-run switch may only re-tune mechanisms the epoch barrier can
+    make safe by flushing volatile state; it must never change what the
+    machine has already promised:
+
+    * the **log backend** is structural — the HWL engine, log buffers,
+      and per-core wiring exist (or not) from construction, so records
+      must keep coming from the same producer;
+    * the **commit protocol** defines what "committed" meant for every
+      pre-switch transaction; moving the commit point would rewrite
+      history;
+    * ``persistence_guaranteed`` must be preserved in both directions —
+      a guaranteeing run may not silently drop its crash-recoverability
+      claim, and an unguaranteed run cannot retroactively acquire one
+      (its earlier transactions were never logged recoverably).
+
+    Within those walls the barrier makes everything else safe: the
+    write-back discipline (``clwb`` ↔ ``fwb`` ↔ ``nowb`` under
+    ``hw+undo+redo``) and the log-content sides that do not affect the
+    guarantee (``undo`` ↔ ``undo+redo`` under ``sw+clwb``).
+    """
+    if old.log_backend is not new.log_backend:
+        return (
+            f"cannot switch log backend mid-run "
+            f"({old.log_backend.value!r} -> {new.log_backend.value!r}); "
+            "the record-generation engine is structural"
+        )
+    if old.log_backend is LogBackend.NONE and old != new:
+        return "a design without a log backend has no mechanisms to switch"
+    if old.commit is not new.commit:
+        return (
+            f"cannot switch commit protocol mid-run "
+            f"({old.commit.value!r} -> {new.commit.value!r}); "
+            "it would redefine pre-switch commit points"
+        )
+    if old.persistence_guaranteed != new.persistence_guaranteed:
+        return (
+            f"switch must preserve the persistence guarantee "
+            f"({old.name!r} guaranteed={old.persistence_guaranteed}, "
+            f"{new.name!r} guaranteed={new.persistence_guaranteed})"
+        )
+    return None
+
+
+def switch_legal(old: DesignSpec, new: DesignSpec) -> bool:
+    """True when a live machine may switch from ``old`` to ``new``."""
+    return switch_transition_error(old, new) is None
+
+
+def check_switch_transition(old: DesignSpec, new: DesignSpec) -> None:
+    """Raise ``ValueError`` when the ``old`` -> ``new`` switch is illegal."""
+    reason = switch_transition_error(old, new)
+    if reason is not None:
+        raise ValueError(f"illegal design switch: {reason}")
+
+
+def legal_switch_targets(spec: DesignSpec, candidates: Iterable[DesignSpec]):
+    """The subset of ``candidates`` that ``spec`` may legally switch to
+    (including ``spec`` itself when present), in candidate order."""
+    return [target for target in candidates if switch_legal(spec, target)]
+
+
 def expand_grid(
     backends: Iterable[str],
     contents: Iterable[str],

@@ -166,3 +166,19 @@ class HardwareLogging:
     def active_transactions(self) -> int:
         """Transactions that have logged at least one store (visibility)."""
         return len(self._started)
+
+    def retune(self, record_undo: bool, record_redo: bool, protect_wrap: bool) -> None:
+        """Re-select record sides/wrap protection at a safe-switch barrier.
+
+        Only legal with no in-flight transactions (the barrier quiesces
+        them first): a record's sides must not change mid-transaction or
+        recovery would see a mixed-content undo/redo stream.
+        """
+        if self._started:
+            raise RuntimeError(
+                "cannot retune HWL with transactions in flight "
+                f"({len(self._started)} active)"
+            )
+        self._record_undo = record_undo
+        self._record_redo = record_redo
+        self._protect_wrap = protect_wrap

@@ -48,6 +48,12 @@ class SoftwareLog:
         """True when new values are logged."""
         return self._record_redo
 
+    def retune(self, record_undo: bool, record_redo: bool) -> None:
+        """Re-select record sides at a safe-switch barrier (the caller
+        guarantees no transaction is in flight)."""
+        self._record_undo = record_undo
+        self._record_redo = record_redo
+
     def begin(self, txid: int, tid: int) -> PlacedRecord:
         """Place the transaction's header record (tx_begin)."""
         self._registers.acquire_txid(txid)

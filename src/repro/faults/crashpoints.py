@@ -41,6 +41,8 @@ class EventKind(str, enum.Enum):
     FWB_SCAN = "fwb-scan"      # one FWB scan pass over the caches
     WRAP_FORCE = "wrap-force"  # one log-wrap forced data write-back
     RECOVERY = "recovery"      # one recovery-pass NVRAM write
+    SWITCH_BEFORE = "switch-before"  # at a switch barrier, before the swap
+    SWITCH_AFTER = "switch-after"    # at a switch barrier, after the swap
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -117,6 +119,20 @@ class FaultMonitor:
         if delta:
             self._prev_wrap_forces = stats.log_wrap_forced_writebacks
             self._bump(EventKind.WRAP_FORCE, delta, now)
+
+    # ------------------------------------------------------------------
+    # Switch-barrier events (called by Machine.switch_design)
+    # ------------------------------------------------------------------
+    def at_switch(self, kind: EventKind, now: float) -> None:
+        """Observe one side of a safe-switch epoch barrier.
+
+        ``kind`` is :attr:`EventKind.SWITCH_BEFORE` (volatile state
+        drained, old spec still active) or :attr:`EventKind.SWITCH_AFTER`
+        (new spec just swapped in).  An armed trigger of the matching
+        kind raises :class:`~repro.errors.SimulatedCrash` exactly at the
+        barrier instant.
+        """
+        self._bump(kind, 1, now)
 
     # ------------------------------------------------------------------
     # Recovery-side events (called by RecoveryManager)

@@ -119,6 +119,7 @@ class PersistOrderChecker:
         self._heap_obs: list = []  # (word base, completion, owner _Txn)
         self._slot_torn: dict = {}  # (log base, slot) -> last torn bit
         self._last_push: dict = {}  # buffer id -> last completion
+        self._max_record_durable = 0.0  # latest known record completion
         self._crashed = False
         self._events = 0
         self.diagnostics: list = []
@@ -308,6 +309,8 @@ class PersistOrderChecker:
             # Software record: durability resolves when the WCB-drained
             # line's NVRAM write is observed for this entry.
             self._pending_by_entry[rec.entry_addr] = rec
+        else:
+            self._max_record_durable = max(self._max_record_durable, rec.durable)
         txn = self._open.get(rec.tid)
         if txn is not None:
             if rec.kind == "DATA" and rec.addr is not None:
@@ -431,8 +434,112 @@ class PersistOrderChecker:
             rec = self._pending_by_entry.get(entry)
             if rec is not None and rec.durable is None:
                 rec.durable = completion
+                self._max_record_durable = max(self._max_record_durable, completion)
                 self._check_wrap_order(rec)
             entry += self._entry_size
+
+    def _on_design_switch(self, event) -> None:
+        """switch-epoch-clean: nothing may straddle the epoch barrier.
+
+        By the time the ``design_switch`` event appears in the stream the
+        barrier's own write-backs have already been observed (NVRAM
+        emits ``nvram_write`` at post time, and the machine emits the
+        switch event only after forcing), so three stream-visible facts
+        must hold at the barrier instant: no transaction is open, no
+        placed log record is still awaiting durability (or becomes
+        durable after the barrier), and every logged-and-stored heap
+        piece of every closed transaction has reached NVRAM.
+        """
+        barrier = event.time
+        d = event.detail
+        label = f"{d.get('old', '?')} -> {d.get('new', '?')}"
+        for tid in sorted(self._open):
+            txn = self._open[tid]
+            self._report(
+                "switch-epoch-clean",
+                f"design switch ({label}) at {barrier:.0f} with "
+                f"transaction {txn.txid} still open on tid {tid} — its "
+                "pre-switch log records straddle the epoch barrier",
+                barrier,
+                txid=txn.txid,
+                tid=tid,
+                provenance=(
+                    f"{txn.begin_time:.0f} tx_begin tid={tid} txid={txn.txid}",
+                    f"{barrier:.0f} design_switch {label}",
+                ),
+            )
+        for rec in self._pending_by_entry.values():
+            if rec.durable is not None:
+                continue
+            self._report(
+                "switch-epoch-clean",
+                f"design switch ({label}) at {barrier:.0f} while the log "
+                f"record in slot {rec.slot} (entry {rec.entry_addr:#x}) "
+                "had not drained to NVRAM",
+                barrier,
+                txid=rec.txid,
+                tid=rec.tid,
+                provenance=(
+                    f"{rec.place_time:.0f} log_place slot={rec.slot} "
+                    "(no matching nvram_write)",
+                    f"{barrier:.0f} design_switch {label}",
+                ),
+            )
+        if self._max_record_durable > barrier + _EPS:
+            self._report(
+                "switch-epoch-clean",
+                f"design switch ({label}) at {barrier:.0f} before the log "
+                "FIFO settled: a pre-switch record completes at "
+                f"{self._max_record_durable:.0f}, after the barrier",
+                barrier,
+                provenance=(
+                    f"record durable={self._max_record_durable:.0f}",
+                    f"{barrier:.0f} design_switch {label}",
+                ),
+            )
+        # Un-written-back logged data: each heap word's *current* content
+        # belongs to its latest owning transaction (older owners were
+        # overwritten; their line state no longer exists to force).  A
+        # logged-and-stored piece of that owner with no NVRAM completion
+        # by the barrier means the barrier left a logged line dirty.
+        open_txns = set(id(txn) for txn in self._open.values())
+        for word in sorted(self._word_owner):
+            owner = self._word_owner[word]
+            if id(owner) in open_txns:
+                continue  # already reported as a straddling open txn
+            for piece in sorted(owner.word_stores.get(word, ())):
+                if piece not in owner.logged or piece not in owner.stores:
+                    continue
+                durable = owner.data_durable.get(piece)
+                if durable is not None and durable <= barrier + _EPS:
+                    continue
+                where = (
+                    "was never written back"
+                    if durable is None
+                    else f"reaches NVRAM only at {durable:.0f}"
+                )
+                self._report(
+                    "switch-epoch-clean",
+                    f"design switch ({label}) at {barrier:.0f} while the "
+                    f"logged line for {piece:#x} (transaction {owner.txid}) "
+                    f"{where} — the barrier must force logged-dirty "
+                    "lines durable",
+                    barrier,
+                    addr=piece,
+                    txid=owner.txid,
+                    tid=owner.tid,
+                    provenance=(
+                        f"{owner.stores[piece]:.0f} store addr={piece:#x}",
+                        f"{barrier:.0f} design_switch {label}",
+                    ),
+                )
+                break  # one diagnostic per word keeps reports readable
+        if d.get("truncated"):
+            # A content switch truncates the ring at the barrier: every
+            # slot restarts empty on pass parity 1, so the recorded torn
+            # bits no longer describe what the next placement overwrites.
+            self._slot_torn.clear()
+            self._pending_by_entry.clear()
 
     def _on_crash(self, event) -> None:
         self._crashed = True
@@ -446,6 +553,7 @@ class PersistOrderChecker:
         "log_place": _on_log_place,
         "log_push": _on_log_push,
         "nvram_write": _on_nvram_write,
+        "design_switch": _on_design_switch,
         "crash": _on_crash,
     }
 

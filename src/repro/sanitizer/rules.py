@@ -111,6 +111,17 @@ RULES: dict[str, Rule] = {
             "exception).",
         ),
         Rule(
+            "switch-epoch-clean",
+            "design switch with pre-switch state in flight",
+            "adapt",
+            "A safe-switch epoch barrier must be clean: at the switch "
+            "instant no transaction may be open, every log record must "
+            "have drained to NVRAM, and no line recorded in the log may "
+            "still be dirty in the hierarchy.  State straddling the "
+            "barrier would be interpreted under the wrong spec by "
+            "whichever side of the swap a crash lands on.",
+        ),
+        Rule(
             "repl-ack-durable",
             "batch acked before durable on the replica",
             "dist",

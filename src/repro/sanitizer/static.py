@@ -534,6 +534,13 @@ def verify_trace(
         "slot p is rewritten only one full pass later and the torn bit "
         "is the pass parity (A4); consecutive occupants always differ",
     )
+    verdicts["switch-epoch-clean"] = StaticVerdict(
+        "switch-epoch-clean",
+        PROVEN,
+        "compiled op columns contain no design-switch op: the trace runs "
+        "under one DesignSpec end to end, so no state can straddle an "
+        "epoch barrier (adaptive runs are checked dynamically)",
+    )
 
     # -- wrap-overwrite ------------------------------------------------
     total_records = sum(

@@ -51,6 +51,7 @@ class EventLoopScheduler:
         shards: list,
         admission: Optional[AdmissionConfig] = None,
         checkpoint: Optional[Callable[[Optional[float]], None]] = None,
+        drain_checkpoint_cycles: Optional[float] = None,
     ) -> None:
         if not shards:
             raise ConfigError("scheduler needs at least one shard")
@@ -62,12 +63,35 @@ class EventLoopScheduler:
         #: hooks in here: everything durable strictly before the horizon
         #: is safe to ship.
         self.checkpoint = checkpoint
+        if drain_checkpoint_cycles is not None and drain_checkpoint_cycles <= 0:
+            raise ConfigError("drain_checkpoint_cycles must be positive or None")
+        #: When set, the post-schedule drain advances in bounded windows
+        #: of this many cycles, calling ``checkpoint`` after each — so
+        #: checkpoint consumers (the adaptive controller above all) keep
+        #: observing while queued backlog is served.  ``None`` keeps the
+        #: classic single uncheckpointed drain.
+        self.drain_checkpoint_cycles = drain_checkpoint_cycles
         self.admitted: list = []
         self.rejected: list = []
 
     # ------------------------------------------------------------------
     def drain(self) -> None:
-        """Run every shard to completion (batch mode, or post-schedule)."""
+        """Run every shard to completion (batch mode, or post-schedule).
+
+        With ``drain_checkpoint_cycles`` set (and a checkpoint hook),
+        queues are closed first and the shards advance horizon window by
+        horizon window, checkpointing between windows, until no thread
+        can move; a final unbounded drain settles any residue either
+        way.
+        """
+        if self.drain_checkpoint_cycles is not None and self.checkpoint is not None:
+            for shard in self.shards:
+                shard.close()
+            horizon = max(shard.clock() for shard in self.shards)
+            while any(shard.active for shard in self.shards):
+                horizon += self.drain_checkpoint_cycles
+                self.step_all(horizon)
+                self.checkpoint(horizon)
         for shard in self.shards:
             shard.drain()
 

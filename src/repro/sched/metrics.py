@@ -68,6 +68,9 @@ class ServeReport:
     p999: float
     per_shard: list = field(default_factory=list)
     replication: dict = field(default_factory=dict)
+    adaptation: dict = field(default_factory=dict)
+    """Adaptive mode: the controller's decision log (``switches``,
+    ``decisions``, ``start_design``, ``final_designs``)."""
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -123,6 +126,21 @@ class ServeReport:
                 f"{rep.get('records_compacted', 0)} records folded into "
                 "checkpoints"
             )
+        if self.adaptation:
+            adapt = self.adaptation
+            finals = ",".join(adapt.get("final_designs", ()))
+            lines.append("")
+            lines.append(
+                f"  adaptive: {adapt.get('switches', 0)} switch(es), "
+                f"window {adapt.get('window_txns', 0)} txns, "
+                f"start {adapt.get('start_design', '?')} -> final {finals}"
+            )
+            for decision in adapt.get("decisions", ()):
+                lines.append(
+                    f"    cycle {decision.get('cycle', 0.0):.0f} shard "
+                    f"{decision.get('shard', 0)}: {decision.get('from')} -> "
+                    f"{decision.get('to')} ({decision.get('outcome')})"
+                )
         return "\n".join(lines)
 
     def render_markdown(self) -> str:
@@ -149,5 +167,14 @@ class ServeReport:
             rep = self.replication
             lines.append(
                 f"| replica compactions | {rep.get('compactions', 0)} |"
+            )
+        if self.adaptation:
+            adapt = self.adaptation
+            lines.append(
+                f"| design switches | {adapt.get('switches', 0)} |"
+            )
+            lines.append(
+                f"| final design(s) | "
+                f"{', '.join(adapt.get('final_designs', ()))} |"
             )
         return "\n".join(lines) + "\n"

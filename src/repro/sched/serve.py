@@ -69,10 +69,25 @@ class ServeConfig:
     """Replica rings per shard (0 disables mid-run log shipping)."""
     ring_records: int = 256
     compact_headroom: float = 0.75
+    policy_table: Optional[object] = None
+    """A :class:`~repro.adapt.table.PolicyTable` enables adaptive mode:
+    an :class:`~repro.adapt.controller.AdaptiveController` rides the
+    scheduler checkpoints and may safe-switch shards mid-run.  When the
+    caller leaves ``policy`` unset, the table's ``start`` design (if
+    any) seeds the shards."""
+    adapt_window_txns: int = 16
+    drain_checkpoint_cycles: float = 400.0
+    """Adaptive mode only: the post-schedule backlog drains in windows
+    of this many cycles so the controller keeps observing (see
+    ``EventLoopScheduler.drain``)."""
 
     def __post_init__(self) -> None:
         if self.policy is None:
-            self.policy = resolve_design("fwb")
+            table = self.policy_table
+            if table is not None and getattr(table, "start", None) is not None:
+                self.policy = table.start
+            else:
+                self.policy = resolve_design("fwb")
         elif not isinstance(self.policy, DesignSpec):
             self.policy = resolve_design(self.policy)
 
@@ -83,6 +98,10 @@ class ServeConfig:
             raise ConfigError("threads must be positive")
         if self.batch_requests <= 0:
             raise ConfigError("batch_requests must be positive")
+        if self.adapt_window_txns <= 0:
+            raise ConfigError("adapt_window_txns must be positive")
+        if self.drain_checkpoint_cycles <= 0:
+            raise ConfigError("drain_checkpoint_cycles must be positive")
         self.traffic.validate()
         self.admission.validate()
 
@@ -143,16 +162,34 @@ def run_serve(config: ServeConfig, machine_hook=None) -> ServeReport:
             )
 
     checkpoint = make_checkpoint(replicators) if replicators else None
+    controller = None
+    if config.policy_table is not None:
+        # Lazy: repro.adapt imports this module for default_serve_config.
+        from ..adapt.controller import AdaptiveController
+
+        controller = AdaptiveController(
+            config.policy_table, window_txns=config.adapt_window_txns
+        )
+        checkpoint = controller.checkpoint_for(shards, inner=checkpoint)
     scheduler = EventLoopScheduler(
-        shards, admission=config.admission, checkpoint=checkpoint
+        shards,
+        admission=config.admission,
+        checkpoint=checkpoint,
+        drain_checkpoint_cycles=(
+            config.drain_checkpoint_cycles if controller is not None else None
+        ),
     )
     schedule = open_loop_schedule(config.traffic, config.shards)
     scheduler.run_open_loop(schedule)
 
-    return _build_report(config, shards, scheduler, schedule, replicators)
+    return _build_report(
+        config, shards, scheduler, schedule, replicators, controller
+    )
 
 
-def _build_report(config, shards, scheduler, schedule, replicators) -> ServeReport:
+def _build_report(
+    config, shards, scheduler, schedule, replicators, controller=None
+) -> ServeReport:
     offered_by_shard = [0] * config.shards
     for request in schedule:
         offered_by_shard[request.shard] += 1
@@ -204,6 +241,14 @@ def _build_report(config, shards, scheduler, schedule, replicators) -> ServeRepo
             "per_shard": summaries,
         }
 
+    adaptation: dict = {}
+    if controller is not None:
+        adaptation = controller.summary()
+        adaptation["start_design"] = config.policy.mechanism_string()
+        adaptation["final_designs"] = [
+            shard.machine.policy.mechanism_string() for shard in shards
+        ]
+
     completed = len(latencies)
     return ServeReport(
         workload=config.workload,
@@ -225,4 +270,5 @@ def _build_report(config, shards, scheduler, schedule, replicators) -> ServeRepo
         p999=percentile(latencies, 99.9),
         per_shard=per_shard,
         replication=replication,
+        adaptation=adaptation,
     )

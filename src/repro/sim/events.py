@@ -38,6 +38,9 @@ EVENT_KINDS = frozenset(
         "log_wrap_force",
         # Power failure instant.
         "crash",
+        # A safe-switch epoch barrier atomically swapped the active
+        # DesignSpec (repro.adapt); carries old/new mechanism strings.
+        "design_switch",
         # One timed cacheable store retired by a core (heap mutation).
         "store",
         # A log record was placed in a circular-log slot (hardware HWL

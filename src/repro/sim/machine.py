@@ -314,6 +314,167 @@ class Machine:
         return completion
 
     # ------------------------------------------------------------------
+    # Safe-switch epoch barrier (repro.adapt)
+    # ------------------------------------------------------------------
+    def switch_design(self, new_policy) -> float:
+        """Atomically swap the active :class:`DesignSpec` at an epoch barrier.
+
+        The barrier makes the swap invisible to recovery: with no
+        transaction in flight (the caller quiesces threads first — see
+        :meth:`repro.sched.shard.ShardMachine.switch_design`), it drains
+        every write-combining buffer, waits for the volatile log FIFOs to
+        settle on the NVRAM bus, and forces every dirty cached line
+        durable.  After that, every pre-switch log record belongs to a
+        committed transaction whose data is durable, so a crash on either
+        side of the swap recovers to the same image under either spec.
+
+        Only guarantee-preserving transitions are legal
+        (:func:`repro.core.design.check_switch_transition`): same log
+        backend, same commit protocol, equal ``persistence_guaranteed``
+        — e.g. ``clwb`` ↔ ``fwb`` ↔ ``nowb`` under ``hw+undo+redo``, or
+        ``undo`` ↔ ``undo+redo`` under ``sw+clwb``.
+
+        Returns the barrier completion cycle (all cores advanced to it).
+        An installed fault monitor observes ``switch-before`` /
+        ``switch-after`` events exactly at the barrier, so crash points
+        can land on either side of the swap.
+        """
+        from ..core.design import check_switch_transition
+
+        if self.crashed:
+            raise SimulationError("machine has crashed; no design switch")
+        new = resolve_design(new_policy)
+        old = self.policy
+        now = max((core.time for core in self.cores), default=0.0)
+        if new == old:
+            return now
+        check_switch_transition(old, new)
+        if self.hwl is not None and self.hwl.active_transactions:
+            raise SimulationError(
+                "design switch requires quiesced transactions; "
+                f"{self.hwl.active_transactions} still in flight"
+            )
+
+        # (1) Drain the write-combining buffers: pre-switch log records
+        # must be on NVRAM before their data lines can be stolen.
+        barrier = max(now, self._flush_wcbs(0, now))
+        # (2) Let the volatile log FIFOs settle on the NVRAM bus.
+        for buffer in self.log_buffers:
+            barrier = max(barrier, buffer.last_completion)
+        # (3) Force every dirty cached line durable, in address order:
+        # after this, no pre-switch undo record is still needed and no
+        # logged line is awaiting write-back.
+        dirty = set()
+        for l1 in self.hierarchy.l1s:
+            for line in l1.iter_lines():
+                if line.dirty:
+                    dirty.add(line.addr)
+        for line in self.hierarchy.llc.iter_lines():
+            if line.dirty:
+                dirty.add(line.addr)
+        issue = barrier
+        for line_addr in sorted(dirty):
+            completion = self.hierarchy.force_writeback(line_addr, issue)
+            if completion is not None:
+                barrier = max(barrier, completion)
+        # (4) Wait out every write still in flight on the NVRAM banks:
+        # a clwb posted just before the barrier is clean in cache (so the
+        # dirty scan skips it) but not yet durable — the epoch boundary
+        # must lie after its completion, or that write straddles it.
+        for free in self.nvram.bank_write_free:
+            barrier = max(barrier, free)
+
+        if self.fault_monitor is not None:
+            from ..faults.crashpoints import EventKind
+
+            self.fault_monitor.at_switch(EventKind.SWITCH_BEFORE, barrier)
+
+        # --- the swap: retune every engine the spec parameterizes ---
+        self.policy = new
+        truncated = old.log_content is not new.log_content
+        if truncated:
+            # Changing the record *content* makes pre-switch records
+            # poisonous: a committed undo+redo record still in the ring
+            # would be replayed by recovery and clobber data that a later
+            # undo-only transaction persisted in place (which logs no
+            # superseding redo).  The barrier proved every pre-switch
+            # record's data durable, so the records are dead — truncate
+            # the ring(s) with the recovery manager's crash-safe marker
+            # sequence.  Write-back-policy switches keep the ring: both
+            # epochs record the same sides, so replay stays sound.
+            self._truncate_logs_at_barrier()
+        if self.hwl is not None:
+            self.hwl.retune(
+                record_undo=new.logs_undo,
+                record_redo=new.logs_redo,
+                protect_wrap=new.protects_log_wrap,
+            )
+        if self.swlog is not None:
+            self.swlog.retune(
+                record_undo=new.logs_undo, record_redo=new.logs_redo
+            )
+        if new.uses_fwb:
+            if self.fwb is None:
+                self.fwb = ForceWriteBack(self.config, self.hierarchy, self.stats)
+                self.fwb.tracer = self._tracer
+            # Scans restart from the barrier, not from cycle zero.
+            self.fwb.next_scan = barrier + self.fwb.interval
+        else:
+            self.fwb = None
+        self.hierarchy.writeback_release_hook = (
+            self._flush_wcbs
+            if new.uses_sw_logging and new.persistence_guaranteed
+            else None
+        )
+
+        self.stats.design_switches += 1
+        self.stats.switch_barrier_cycles += barrier - now
+        for core in self.cores:
+            self.advance_core(core.core_id, barrier)
+        if self._tracer is not None:
+            self._tracer.emit(
+                barrier,
+                "design_switch",
+                -1,
+                old=old.mechanism_string(),
+                new=new.mechanism_string(),
+                truncated=truncated,
+            )
+        if self.fault_monitor is not None:
+            from ..faults.crashpoints import EventKind
+
+            self.fault_monitor.at_switch(EventKind.SWITCH_AFTER, barrier)
+        return barrier
+
+    def _truncate_logs_at_barrier(self) -> None:
+        """Invalidate every log entry and rewind the ring(s) to empty.
+
+        Only called from a clean epoch barrier (all records committed,
+        all logged data durable in place).  Uses the same crash-safe
+        ordering as recovery's log reset: slot 0 takes the reset marker
+        first — a region whose slot 0 holds the marker scans as empty —
+        then the remaining slots are cleared, then the marker itself.
+        The system-software pokes don't ride the memory pipeline (the
+        barrier already quiesced it), so the swap stays instantaneous.
+        """
+        from ..core.logrecord import reset_marker
+
+        for log in self.logs:
+            for view in log.region_views():
+                marker = reset_marker(view.entry_size)
+                zero = bytes(view.entry_size)
+                self.nvram.poke(view.entry_addr(0), marker)
+                for slot in range(1, view.num_entries):
+                    self.nvram.poke(view.entry_addr(slot), zero)
+                self.nvram.poke(view.entry_addr(0), zero)
+                view.tail = 0
+                view.head = 0
+                view.parity = 1
+                view.wrapped = False
+                view._slot_lines = [None] * view.num_entries
+                view._slot_kinds = [None] * view.num_entries
+
+    # ------------------------------------------------------------------
     # End of run / crash
     # ------------------------------------------------------------------
     def finalize(self) -> MachineStats:

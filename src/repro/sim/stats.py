@@ -45,6 +45,10 @@ class MachineStats:
     wcb_stall_cycles: float = 0.0
     log_wrap_forced_writebacks: int = 0
 
+    # Adaptive design switching (repro.adapt)
+    design_switches: int = 0
+    switch_barrier_cycles: float = 0.0
+
     # Persistence machinery
     clwb_count: int = 0
     fence_stall_cycles: float = 0.0

@@ -121,6 +121,22 @@ class ThreadAPI:
         """True between ``tx_begin`` and ``tx_commit``."""
         return self._txid is not None
 
+    def refresh_policy(self) -> None:
+        """Re-read the machine's active design after a safe switch.
+
+        The policy is cached at construction because every ``write`` and
+        ``tx_commit`` consults it; a mid-run design switch
+        (:meth:`repro.sim.machine.Machine.switch_design`) must call this
+        on every live API, outside any transaction, or the thread keeps
+        lowering stores for the pre-switch mechanisms.
+        """
+        if self.in_transaction:
+            raise RuntimeError(
+                "cannot refresh the design policy mid-transaction "
+                f"(tid={self.tid}, txid={self._txid})"
+            )
+        self._policy = self._pm.machine.policy
+
     @property
     def now(self) -> float:
         """This thread's core clock."""

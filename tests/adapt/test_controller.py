@@ -1,0 +1,141 @@
+"""Policy tables and the adaptive controller: decision semantics, JSON
+round-trips, and trainer determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adapt import (
+    AdaptiveController,
+    PolicyTable,
+    default_policy_table,
+    train_policy_table,
+)
+from repro.adapt.features import FEATURE_NAMES, WindowFeatures
+from repro.adapt.table import make_rule
+from repro.core.design import resolve_design
+
+NOWB = resolve_design("hw+undo+redo+nowb")
+CLWB = resolve_design("hw+undo+redo+clwb")
+FWB = resolve_design("hw+undo+redo+fwb")
+
+
+def _features(**overrides) -> WindowFeatures:
+    values = dict(
+        write_intensity=0.0,
+        txn_size=4.0,
+        wrap_pressure=0.0,
+        miss_rate=0.1,
+        transactions=16,
+    )
+    values.update(overrides)
+    return WindowFeatures(**values)
+
+
+class TestPolicyTable:
+    def test_default_table_holds_under_calm_features(self):
+        table = default_policy_table()
+        assert table.decide(_features(), NOWB) == NOWB
+        assert table.decide(_features(), FWB) == FWB
+
+    def test_default_table_reacts_to_wrap_pressure(self):
+        table = default_policy_table()
+        pressured = _features(wrap_pressure=0.9)
+        assert table.decide(pressured, NOWB) == CLWB
+
+    def test_first_matching_rule_wins(self):
+        table = PolicyTable(
+            rules=(
+                make_rule({"wrap_pressure_min": 0.5}, FWB),
+                make_rule({"wrap_pressure_min": 0.1}, CLWB),
+            ),
+            default=None,
+        )
+        assert table.decide(_features(wrap_pressure=0.7), NOWB) == FWB
+        assert table.decide(_features(wrap_pressure=0.2), NOWB) == CLWB
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(Exception):
+            make_rule({"bogus_min": 1.0}, CLWB)
+        for name in FEATURE_NAMES:
+            make_rule({f"{name}_min": 0.0, f"{name}_max": 1.0}, CLWB)
+
+    def test_json_roundtrip(self, tmp_path):
+        table = default_policy_table()
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = PolicyTable.load(path)
+        assert loaded.to_json() == table.to_json()
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-adapt/v1"
+
+    def test_roundtrip_preserves_decisions(self, tmp_path):
+        table = PolicyTable(
+            rules=(
+                make_rule({"wrap_pressure_min": 0.5, "txn_size_max": 9.0}, FWB),
+            ),
+            default=CLWB,
+            start=NOWB,
+        )
+        path = tmp_path / "t.json"
+        table.save(path)
+        loaded = PolicyTable.load(path)
+        probes = [
+            _features(wrap_pressure=w, txn_size=t)
+            for w in (0.0, 0.4, 0.6, 1.0)
+            for t in (2.0, 8.0, 12.0)
+        ]
+        for features in probes:
+            assert loaded.decide(features, NOWB) == table.decide(
+                features, NOWB
+            )
+        assert loaded.start == NOWB
+
+
+class TestController:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            AdaptiveController(default_policy_table(), window_txns=0)
+
+    def test_summary_shape(self):
+        controller = AdaptiveController(default_policy_table(), window_txns=8)
+        summary = controller.summary()
+        assert summary == {
+            "window_txns": 8,
+            "switches": 0,
+            "decisions": [],
+        }
+
+
+class TestTrainer:
+    def test_benchmark_training_is_deterministic(self):
+        kwargs = dict(
+            benchmarks=("hash",),
+            threads=1,
+            txns_per_thread=30,
+            seed=42,
+        )
+        first = train_policy_table(**kwargs)
+        second = train_policy_table(**kwargs)
+        assert first.to_json() == second.to_json()
+        assert first.trained_on["mode"] == "benchmarks"
+        assert len(first.trained_on["units"]) == 1
+        assert first.start is not None
+
+    def test_two_unit_training_separates_or_holds(self):
+        table = train_policy_table(
+            benchmarks=("hash", "sps"), threads=1, txns_per_thread=30, seed=42
+        )
+        units = table.trained_on["units"]
+        assert [unit["label"] for unit in units] == ["hash", "sps"]
+        winners = {unit["best"] for unit in units}
+        if len(winners) > 1:
+            assert table.rules, "distinct winners need separating rules"
+        for unit in units:
+            assert set(unit["cycles"]) == {
+                "hw+undo+redo+nowb",
+                "hw+undo+redo+clwb",
+                "hw+undo+redo+fwb",
+            }

@@ -1,0 +1,63 @@
+"""The tentpole acceptance gate: on the drifting workload the adaptive
+controller must beat *every* static design in the legal family on total
+simulated cycles — and do so deterministically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapt import DriftConfig, DriftPhase, compare_drift, run_drift
+from repro.adapt.drift import WRITEBACK_FAMILY
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_drift(DriftConfig())
+
+
+def test_adaptive_beats_every_static(comparison):
+    adaptive_cycles = comparison["adaptive_cycles"]
+    assert comparison["static"], "no static baselines ran"
+    for name in WRITEBACK_FAMILY:
+        assert name in comparison["static"]
+    for name, report in comparison["static"].items():
+        assert adaptive_cycles < report["total_cycles"], (
+            f"adaptive ({adaptive_cycles:.1f}) does not beat static "
+            f"{name} ({report['total_cycles']:.1f})"
+        )
+    assert comparison["adaptive_wins"]
+    assert comparison["margin"] > 0.0
+
+
+def test_adaptive_run_switches_and_serves_everything(comparison):
+    adaptive = comparison["adaptive"]
+    assert adaptive["adaptive"] is True
+    assert adaptive["counters"]["design_switches"] >= 1
+    assert adaptive["completed"] == adaptive["offered"]
+    assert adaptive["rejected"] == 0
+    switched = [
+        d
+        for d in adaptive["adaptation"]["decisions"]
+        if d["outcome"] == "switched"
+    ]
+    assert len(switched) == adaptive["counters"]["design_switches"]
+
+
+def test_static_baselines_serve_everything(comparison):
+    # Lossless admission: the race is fair only if every design served
+    # the identical request stream.
+    for report in comparison["static"].values():
+        assert report["completed"] == report["offered"]
+        assert report["counters"]["design_switches"] == 0
+
+
+def test_drift_run_is_deterministic():
+    config = DriftConfig(
+        phases=(
+            DriftPhase(48, 0.9, 0.30, 0.65),
+            DriftPhase(48, 0.9, 0.65, 1.0),
+        )
+    )
+    first = run_drift(config)
+    second = run_drift(config)
+    assert first == second

@@ -1,0 +1,90 @@
+"""The ``switch-epoch-clean`` sanitizer rule: silent on honest barriers,
+loud on a forged switch event with state in flight."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitizer.checker import PersistOrderChecker
+from repro.sanitizer.rules import LOGGING_RULES, RULES
+
+from .conftest import run_with_switches
+
+
+def test_rule_is_registered():
+    assert "switch-epoch-clean" in RULES
+    assert "switch-epoch-clean" in LOGGING_RULES
+    rule = RULES["switch-epoch-clean"]
+    assert rule.paper_ref == "adapt"
+
+
+@pytest.mark.parametrize(
+    "pair",
+    [
+        ("hw+undo+redo+nowb", "hw+undo+redo+clwb"),
+        ("hw+undo+redo+clwb", "hw+undo+redo+fwb"),
+        ("sw+undo+redo+clwb", "sw+undo+clwb"),
+        ("sw+undo+clwb", "sw+undo+redo+clwb"),
+    ],
+    ids=lambda pair: f"{pair[0]}->{pair[1]}",
+)
+def test_honest_barrier_is_clean(pair):
+    holder = {}
+
+    def hook(machine):
+        holder["checker"] = PersistOrderChecker.attach(machine)
+
+    machine, _pm = run_with_switches(pair, [24], machine_hook=hook)
+    machine.finalize()
+    report = holder["checker"].finish()
+    assert machine.stats.design_switches == 1
+    assert "switch-epoch-clean" in report.rules_checked
+    assert not report.diagnostics, [
+        (d.rule, d.message) for d in report.diagnostics
+    ]
+
+
+def test_forged_switch_event_fires_the_rule():
+    """Emitting ``design_switch`` mid-run WITHOUT running the barrier
+    must trip the rule: open transactions, undrained records, and
+    un-written-back logged lines all straddle the forged epoch."""
+    holder = {}
+    forged = {}
+
+    class _SplicingTracer:
+        """Forwards to the checker's tracer, splicing in one forged
+        switch event at the first commit."""
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        def emit(self, time, kind, core=-1, /, **detail):
+            self._inner.emit(time, kind, core, **detail)
+            if kind == "tx_begin" and "done" not in forged:
+                forged["done"] = True
+                self._inner.emit(
+                    time,
+                    "design_switch",
+                    -1,
+                    old="hw+undo+redo+nowb",
+                    new="hw+undo+redo+clwb",
+                )
+
+    def hook(machine):
+        holder["checker"] = PersistOrderChecker.attach(machine)
+        machine.tracer = _SplicingTracer(machine.tracer)
+
+    machine, _pm = run_with_switches(
+        ["hw+undo+redo+nowb", "hw+undo+redo+nowb"],
+        [10**9],
+        txns_per_thread=8,
+        machine_hook=hook,
+    )
+    machine.finalize()
+    report = holder["checker"].finish()
+    fired = [d for d in report.diagnostics if d.rule == "switch-epoch-clean"]
+    assert fired, "forged mid-run switch event went unnoticed"
+    assert any("still open" in d.message for d in fired) or any(
+        "written back" in d.message or "reaches NVRAM" in d.message
+        for d in fired
+    )

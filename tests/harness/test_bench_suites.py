@@ -25,6 +25,8 @@ EXPECTED_SUITES = [
     "ablate-grid",
     "serve-shard",
     "serve-traffic",
+    "adapt-decide",
+    "adapt-switch",
 ]
 
 # Cheap enough to run twice in a unit test; the expensive sweep suites

@@ -381,6 +381,51 @@ class TestUnloggedMutation:
 
 
 # ----------------------------------------------------------------------
+# switch-epoch-clean
+# ----------------------------------------------------------------------
+class TestSwitchEpochClean:
+    OLD, NEW = "hw+undo+redo+nowb", "hw+undo+redo+clwb"
+
+    def _switch(self, t, time):
+        return t.emit(
+            time, "design_switch", -1,
+            old=self.OLD, new=self.NEW, barrier_cycles=0.0, truncated=False,
+        )
+
+    def test_switch_with_open_transaction_fires(self):
+        t = Trace()
+        t.begin(1).place(5, release=8.0).store(10)
+        self._switch(t, 15)  # barrier forged mid-transaction
+        t.place(20, kind="COMMIT", slot=1, release=30.0).commit(20)
+        t.nvram(40, ADDR, completion=50.0)
+        assert "switch-epoch-clean" in fired(t.check())
+
+    def test_switch_with_undrained_record_fires(self):
+        t = Trace()
+        t.begin(1).place(5, release=None).store(10)  # never drains
+        t.place(20, kind="COMMIT", slot=1, release=30.0).commit(20)
+        t.nvram(40, ADDR, completion=50.0)
+        self._switch(t, 60)
+        report = t.check()
+        assert "switch-epoch-clean" in fired(report)
+
+    def test_switch_with_dirty_logged_line_fires(self):
+        t = Trace()
+        t.begin(1).place(5, release=8.0).store(10)
+        t.place(20, kind="COMMIT", slot=1, release=30.0).commit(20)
+        self._switch(t, 60)  # the stored line never reached NVRAM
+        assert "switch-epoch-clean" in fired(t.check())
+
+    def test_quiescent_switch_is_clean(self):
+        t = Trace()
+        t.begin(1).place(5, release=8.0).store(10)
+        t.place(20, kind="COMMIT", slot=1, release=30.0).commit(20)
+        t.nvram(40, ADDR, completion=50.0)
+        self._switch(t, 60)
+        assert t.check().clean
+
+
+# ----------------------------------------------------------------------
 # Replication-ordering rules (the distributed analogue, repro.dist)
 # ----------------------------------------------------------------------
 class ReplTrace:
@@ -502,7 +547,7 @@ class TestCheckerPlumbing:
         exercised = {
             "steal-order", "undo-missing", "redo-missing", "commit-order",
             "commit-durability", "wrap-overwrite", "torn-parity",
-            "fifo-order", "unlogged-mutation",
+            "fifo-order", "unlogged-mutation", "switch-epoch-clean",
             "repl-ack-durable", "repl-commit-quorum", "repl-seq-order",
         }
         assert exercised == set(RULES)
